@@ -1,0 +1,101 @@
+//! `cargo bench` entry point that regenerates a compact version of every
+//! table and figure in the paper (scale 32 unless `WEBMM_SCALE` overrides).
+//!
+//! Each `fig*`/`table*`/`ablation_*` binary in `src/bin` produces the full
+//! version of one artifact; this target strings the headline comparisons
+//! together so one `cargo bench` run exercises the whole reproduction and
+//! prints the qualitative checks.
+
+use webmm_alloc::AllocatorKind;
+use webmm_bench::{both_machines, cached_run, paper, php_run, BenchOpts};
+use webmm_profiler::{breakdown, event_deltas, memory_consumption};
+use webmm_runtime::RunConfig;
+use webmm_sim::MachineConfig;
+use webmm_workload::{mediawiki_read, php_workloads, rails};
+
+fn main() {
+    let mut opts = BenchOpts::from_env();
+    if std::env::var("WEBMM_SCALE").is_err() {
+        opts.scale = 32; // compact default for `cargo bench`
+    }
+    println!("webmm paper suite (scale {}, window {}+{})", opts.scale, opts.warmup, opts.measure);
+
+    fig5_and_friends(&opts);
+    fig7(&opts);
+    ruby_study(&opts);
+    println!("\npaper suite complete. Full per-figure harnesses: cargo run --release -p webmm-bench --bin fig5 (etc.)");
+}
+
+fn fig5_and_friends(opts: &BenchOpts) {
+    println!("\n--- Figures 5/6/8/9 headline checks (8 cores) ---");
+    for machine in both_machines() {
+        let xeon = machine.prefetch.is_some();
+        println!("[{}]", machine.name);
+        for wl in php_workloads() {
+            let base = php_run(&machine, AllocatorKind::PhpDefault, wl.clone(), 8, opts);
+            let reg = php_run(&machine, AllocatorKind::Region, wl.clone(), 8, opts);
+            let dd = php_run(&machine, AllocatorKind::DdMalloc, wl.clone(), 8, opts);
+            let rel = |r: &webmm_runtime::RunResult| {
+                (r.throughput.tx_per_sec / base.throughput.tx_per_sec - 1.0) * 100.0
+            };
+            let d_reg = event_deltas(&reg, &base);
+            let mem = |r: &webmm_runtime::RunResult| {
+                memory_consumption(r) as f64 / memory_consumption(&base) as f64
+            };
+            println!(
+                "  {:24} region {:+6.1}% (paper {:+6.1}%)  dd {:+6.1}% (paper {:+6.1}%)  regionΔbus {:+6.1}%  mm share {:4.1}%  mem r/d {:.1}x/{:.2}x",
+                wl.name,
+                rel(&reg),
+                paper::fig5_relative(wl.name, "region", xeon, true).unwrap_or(f64::NAN),
+                rel(&dd),
+                paper::fig5_relative(wl.name, "ddmalloc", xeon, true).unwrap_or(f64::NAN),
+                d_reg.bus_txns,
+                100.0 * breakdown(&base).mm_share(),
+                mem(&reg),
+                mem(&dd),
+            );
+        }
+    }
+}
+
+fn fig7(opts: &BenchOpts) {
+    println!("\n--- Figure 7: MediaWiki r/o core sweep ---");
+    for machine in both_machines() {
+        print!("[{}]", machine.name);
+        for cores in [1u32, 2, 4, 8] {
+            let base = php_run(&machine, AllocatorKind::PhpDefault, mediawiki_read(), cores, opts);
+            let dd = php_run(&machine, AllocatorKind::DdMalloc, mediawiki_read(), cores, opts);
+            print!(
+                "  {}c: dd {:+.1}%",
+                cores,
+                (dd.throughput.tx_per_sec / base.throughput.tx_per_sec - 1.0) * 100.0
+            );
+        }
+        println!();
+    }
+}
+
+fn ruby_study(opts: &BenchOpts) {
+    println!("\n--- Figures 10/11: Ruby on Rails, 8 Xeon cores ---");
+    let machine = MachineConfig::xeon_clovertown();
+    let measure = opts.measure.max(64);
+    let mut base = None;
+    for kind in AllocatorKind::RUBY_STUDY {
+        let cfg = RunConfig::new(kind, rails())
+            .scale(opts.scale)
+            .cores(8)
+            .window(opts.warmup, measure)
+            .restart_every(Some(500))
+            .no_free_all();
+        let r = cached_run(&machine, &cfg, opts);
+        let b = *base.get_or_insert(r.throughput.tx_per_sec);
+        println!(
+            "  {:12} {:8.1} tx/s ({:+5.1}%)  mm {:4.1}%",
+            r.allocator_id,
+            r.throughput.tx_per_sec,
+            (r.throughput.tx_per_sec / b - 1.0) * 100.0,
+            100.0 * breakdown(&r).mm_share(),
+        );
+    }
+    println!("  paper: dd +13.6% over glibc, +5.3% over TCmalloc");
+}

@@ -1,0 +1,54 @@
+//! Ablation B — DDmalloc's large-page heap on Xeon.
+//!
+//! The paper disables large pages on Xeon (Linux could not grant them
+//! transparently) but reports: "When we enabled the optimization using
+//! large pages on Xeon, the improvement increased to 11.7% (9.0% on
+//! average)" and "TLB misses were reduced by more than 60% compared to the
+//! default allocator."
+
+use webmm_alloc::{AllocatorKind, DdConfig};
+use webmm_bench::{cached_run, php_run, BenchOpts};
+use webmm_profiler::report::{heading, table};
+use webmm_runtime::RunConfig;
+use webmm_sim::MachineConfig;
+use webmm_workload::php_workloads;
+
+fn main() {
+    let opts = BenchOpts::from_env();
+    let machine = MachineConfig::xeon_clovertown();
+    print!("{}", heading("Ablation: DDmalloc with 4 MB pages on Xeon (8 cores)"));
+    let mut rows = vec![vec![
+        "workload".to_string(),
+        "dd 4K pages".to_string(),
+        "dd 4M pages".to_string(),
+        "gain".to_string(),
+        "D-TLB miss change".to_string(),
+    ]];
+    for wl in php_workloads() {
+        let small = php_run(&machine, AllocatorKind::DdMalloc, wl.clone(), 8, &opts);
+        let cfg = RunConfig::new(AllocatorKind::DdMalloc, wl.clone())
+            .scale(opts.scale)
+            .cores(8)
+            .window(opts.warmup, opts.measure)
+            .dd_config(DdConfig { large_pages: true, ..DdConfig::default() });
+        let large = cached_run(&machine, &cfg, &opts);
+        let n = |r: &webmm_runtime::RunResult| {
+            r.total_events().total().dtlb_misses as f64
+                / (r.measured_tx as f64 * r.events.len() as f64)
+        };
+        let tlb_small = n(&small).max(1e-9);
+        rows.push(vec![
+            wl.name.to_string(),
+            format!("{:8.1}", small.throughput.tx_per_sec),
+            format!("{:8.1}", large.throughput.tx_per_sec),
+            format!(
+                "{:+.1}%",
+                (large.throughput.tx_per_sec / small.throughput.tx_per_sec - 1.0) * 100.0
+            ),
+            format!("{:+.1}%", (n(&large) / tlb_small - 1.0) * 100.0),
+        ]);
+    }
+    print!("{}", table(&rows));
+    println!("\npaper: enabling large pages on Xeon lifted DDmalloc's average gain");
+    println!("from 7.7% to 9.0% and cut D-TLB misses by more than 60%.");
+}

@@ -1,0 +1,52 @@
+//! Ablation E — Reaps vs DDmalloc: is bulk free enough, or does
+//! defrag-dodging matter?
+//!
+//! §6: "the Reaps also pays cost of the defragmentation activities, which
+//! is excessive for short-lived transactions in Web-based applications,
+//! like the default allocator of the PHP runtime." Reaps has *exactly*
+//! DDmalloc's interface (per-object free + freeAll) but Lea-style
+//! internals, so this sweep isolates the paper's core thesis: the win
+//! comes from dodging defragmentation, not from the freeAll hook.
+
+use webmm_alloc::AllocatorKind;
+use webmm_bench::{php_run, BenchOpts};
+use webmm_profiler::breakdown;
+use webmm_profiler::report::{heading, table};
+use webmm_sim::MachineConfig;
+use webmm_workload::php_workloads;
+
+fn main() {
+    let opts = BenchOpts::from_env();
+    let machine = MachineConfig::xeon_clovertown();
+    print!("{}", heading("Ablation: Reaps vs DDmalloc (8 Xeon cores)"));
+    let mut rows = vec![vec![
+        "workload".to_string(),
+        "default tx/s".to_string(),
+        "reaps".to_string(),
+        "ddmalloc".to_string(),
+        "dd vs reaps".to_string(),
+        "mm: reaps/dd".to_string(),
+    ]];
+    for wl in php_workloads() {
+        let base = php_run(&machine, AllocatorKind::PhpDefault, wl.clone(), 8, &opts);
+        let reaps = php_run(&machine, AllocatorKind::Reaps, wl.clone(), 8, &opts);
+        let dd = php_run(&machine, AllocatorKind::DdMalloc, wl.clone(), 8, &opts);
+        rows.push(vec![
+            wl.name.to_string(),
+            format!("{:8.1}", base.throughput.tx_per_sec),
+            format!("{:8.1}", reaps.throughput.tx_per_sec),
+            format!("{:8.1}", dd.throughput.tx_per_sec),
+            format!(
+                "{:+.1}%",
+                (dd.throughput.tx_per_sec / reaps.throughput.tx_per_sec - 1.0) * 100.0
+            ),
+            format!(
+                "{:.1}x",
+                breakdown(&reaps).mm_cycles / breakdown(&dd).mm_cycles
+            ),
+        ]);
+    }
+    print!("{}", table(&rows));
+    println!("\npaper (§6): Reaps keeps the defragmentation costs despite supporting bulk");
+    println!("free, so DDmalloc should beat it roughly like it beats the default allocator.");
+}

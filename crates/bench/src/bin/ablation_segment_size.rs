@@ -1,0 +1,52 @@
+//! Ablation A — DDmalloc segment-size sweep.
+//!
+//! §3.2: "The size of a segment is another important parameter ... using
+//! larger segment size tended to increase memory footprint and cache
+//! misses while it reduced the number of instructions to manage each
+//! segment. We chose [32 KB] based on such tradeoffs."
+
+use webmm_alloc::{AllocatorKind, ClassMapping, DdConfig};
+use webmm_bench::{cached_run, BenchOpts};
+use webmm_profiler::report::{bytes, heading, table};
+use webmm_runtime::RunConfig;
+use webmm_sim::MachineConfig;
+use webmm_workload::mediawiki_read;
+
+fn main() {
+    let opts = BenchOpts::from_env();
+    let machine = MachineConfig::xeon_clovertown();
+    print!("{}", heading("Ablation: DDmalloc segment size (MediaWiki r/o, 8 Xeon cores)"));
+    let mut rows = vec![vec![
+        "segment".to_string(),
+        "tx/s".to_string(),
+        "mm instr/tx".to_string(),
+        "L2 miss/tx".to_string(),
+        "heap".to_string(),
+    ]];
+    for seg_kb in [8u64, 16, 32, 64, 128] {
+        let dd = DdConfig {
+            segment_bytes: seg_kb * 1024,
+            max_segments: ((512u64 << 20) / (seg_kb * 1024)) as u32,
+            mapping: ClassMapping::Paper,
+            ..DdConfig::default()
+        };
+        let cfg = RunConfig::new(AllocatorKind::DdMalloc, mediawiki_read())
+            .scale(opts.scale)
+            .cores(8)
+            .window(opts.warmup, opts.measure)
+            .dd_config(dd);
+        let r = cached_run(&machine, &cfg, &opts);
+        let n = (r.measured_tx * r.events.len() as u64) as f64;
+        let t = r.total_events();
+        rows.push(vec![
+            format!("{seg_kb} KB"),
+            format!("{:8.1}", r.throughput.tx_per_sec),
+            format!("{:8.0}", t.mm.instructions as f64 / n),
+            format!("{:6.0}", t.total().l2_misses as f64 / n),
+            bytes(r.footprint.heap_bytes),
+        ]);
+    }
+    print!("{}", table(&rows));
+    println!("\npaper: 32 KB chosen — larger segments cost footprint and misses,");
+    println!("smaller ones cost per-segment management instructions.");
+}

@@ -1,0 +1,50 @@
+//! Ablation D — DDmalloc size-class mapping policies.
+//!
+//! §3.2: "How to map the requested sizes of small objects onto each
+//! size-class is an important tunable parameter." The paper's hybrid
+//! mapping (×8 below 128 B, ×32 below 512 B, powers of two above) trades
+//! internal fragmentation against table size; this sweep compares it with
+//! pure powers of two and a fine-grained ×8 table.
+
+use webmm_alloc::{AllocatorKind, ClassMapping, DdConfig};
+use webmm_bench::{cached_run, BenchOpts};
+use webmm_profiler::report::{bytes, heading, table};
+use webmm_runtime::RunConfig;
+use webmm_sim::MachineConfig;
+use webmm_workload::mediawiki_read;
+
+fn main() {
+    let opts = BenchOpts::from_env();
+    let machine = MachineConfig::xeon_clovertown();
+    print!("{}", heading("Ablation: DDmalloc size-class mapping (MediaWiki r/o, 8 Xeon cores)"));
+    let mut rows = vec![vec![
+        "mapping".to_string(),
+        "tx/s".to_string(),
+        "heap".to_string(),
+        "peak tx alloc".to_string(),
+        "L2 miss/tx".to_string(),
+    ]];
+    for (label, mapping) in [
+        ("paper (8/32/pow2)", ClassMapping::Paper),
+        ("powers of two", ClassMapping::PowersOfTwo),
+        ("fine x8", ClassMapping::Fine8),
+    ] {
+        let cfg = RunConfig::new(AllocatorKind::DdMalloc, mediawiki_read())
+            .scale(opts.scale)
+            .cores(8)
+            .window(opts.warmup, opts.measure)
+            .dd_config(DdConfig { mapping, ..DdConfig::default() });
+        let r = cached_run(&machine, &cfg, &opts);
+        let n = (r.measured_tx * r.events.len() as u64) as f64;
+        rows.push(vec![
+            label.to_string(),
+            format!("{:8.1}", r.throughput.tx_per_sec),
+            bytes(r.footprint.heap_bytes),
+            bytes(r.footprint.peak_tx_alloc_bytes),
+            format!("{:6.0}", r.total_events().total().l2_misses as f64 / n),
+        ]);
+    }
+    print!("{}", table(&rows));
+    println!("\nexpected: powers of two waste space (rounding up to 2x), the fine table");
+    println!("spreads objects over more classes/segments; the paper's hybrid balances both.");
+}

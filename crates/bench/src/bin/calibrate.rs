@@ -1,0 +1,51 @@
+//! Developer calibration harness: prints the headline comparisons the
+//! paper's qualitative claims rest on, for quick model tuning.
+//!
+//! Not one of the paper's figures — see `fig*.rs` / `table*.rs` for those.
+
+use webmm_alloc::AllocatorKind;
+use webmm_runtime::{run, RunConfig};
+use webmm_sim::MachineConfig;
+use webmm_workload::{mediawiki_read, phpbb, WorkloadSpec};
+
+fn main() {
+    let scale: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(32);
+    for machine in [MachineConfig::xeon_clovertown(), MachineConfig::niagara_t1()] {
+        for wl in [mediawiki_read(), phpbb()] {
+            report(&machine, &wl, scale);
+        }
+    }
+}
+
+fn report(machine: &MachineConfig, wl: &WorkloadSpec, scale: u32) {
+    println!("=== {} / {} (scale {scale}) ===", machine.name, wl.name);
+    for cores in [1u32, 8] {
+        let mut base = None;
+        for kind in AllocatorKind::PHP_STUDY {
+            let cfg = RunConfig::new(kind, wl.clone())
+                .scale(scale)
+                .cores(cores)
+                .window(2, 4);
+            let r = run(machine, &cfg);
+            let t = r.throughput;
+            let base_tps = *base.get_or_insert(t.tx_per_sec);
+            let ev = r.total_events();
+            let n = (r.measured_tx * r.events.len() as u64) as f64;
+            println!(
+                "{cores} cores {:22} {:>10.1} tx/s ({:+6.1}%)  mm {:4.1}%  rho {:.2} lat x{:.2}  L2m/tx {:>7.0} bus/tx {:>7.0} instr/tx {:>9.0}",
+                kind.id(),
+                t.tx_per_sec,
+                (t.tx_per_sec / base_tps - 1.0) * 100.0,
+                100.0 * t.mm_cycles_per_tx / (t.mm_cycles_per_tx + t.app_cycles_per_tx),
+                t.bus_utilization,
+                t.latency_factor,
+                ev.total().l2_misses as f64 / n,
+                ev.total().bus_txns as f64 / n,
+                ev.total().instructions as f64 / n,
+            );
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Developer diagnostic: per-category event breakdown for one run.
+//!
+//! Usage: `debug_misses [xeon|niagara] [cores] [scale] [workload]`
+
+use webmm_alloc::AllocatorKind;
+use webmm_runtime::{run, RunConfig};
+use webmm_sim::MachineConfig;
+use webmm_workload::by_name;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let machine = match args.get(1).map(String::as_str) {
+        Some("niagara") => MachineConfig::niagara_t1(),
+        _ => MachineConfig::xeon_clovertown(),
+    };
+    let cores: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let scale: u32 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(32);
+    let wl = args
+        .get(4)
+        .and_then(|n| by_name(n))
+        .unwrap_or_else(webmm_workload::phpbb);
+    let only = std::env::var("WEBMM_ONLY").ok();
+    for kind in AllocatorKind::PHP_STUDY {
+        if only.as_deref().is_some_and(|o| o != kind.id()) {
+            continue;
+        }
+        let cfg = RunConfig::new(kind, wl.clone()).scale(scale).cores(cores).window(2, 4);
+        let r = run(&machine, &cfg);
+        println!("{:12} footprint heap {} KB meta {} KB peak_tx {} KB", r.allocator_id,
+            r.footprint.heap_bytes/1024, r.footprint.metadata_bytes/1024, r.footprint.peak_tx_alloc_bytes/1024);
+        let total = r.total_events();
+        let n = (r.measured_tx * r.events.len() as u64) as f64;
+        for (label, ev) in [("mm ", total.mm), ("app", total.app)] {
+            println!(
+                "{:12} {label} instr {:>9.0} loads {:>8.0} stores {:>8.0} l1d_m {:>7.0} l2_hit {:>7.0} l2_m {:>7.0} pf_cov {:>6.0} pf {:>6.0} wb {:>6.0} dtlb_m {:>6.0} ifetch_m {:>6.0}",
+                r.allocator_id,
+                ev.instructions as f64 / n,
+                ev.loads as f64 / n,
+                ev.stores as f64 / n,
+                ev.l1d_misses as f64 / n,
+                ev.l2_hits as f64 / n,
+                ev.l2_misses as f64 / n,
+                ev.prefetch_covered as f64 / n,
+                ev.prefetches as f64 / n,
+                ev.writebacks as f64 / n,
+                ev.dtlb_misses as f64 / n,
+                ev.l1i_misses as f64 / n,
+            );
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! §5 discussion — garbage-collected runtimes on multicore.
+//!
+//! The paper argues that copying-GC virtual machines "allocate heap memory
+//! for newly created objects in a similar way to the region-based
+//! allocators ... [and] may suffer from the increased bus traffic on
+//! multicore processors, because they cannot reuse the memory locations
+//! used by already-dead objects", and that techniques like MicroPhase
+//! (Xian et al.) — "aggressively invoking a garbage collection before the
+//! Java heap becomes full" — recover locality.
+//!
+//! This harness builds a miniature semi-space nursery directly on the
+//! simulator: objects bump-allocate into a nursery; a "collection" copies
+//! the survivors to a fresh space and flips. Sweeping the nursery size
+//! (the MicroPhase knob: smaller nursery = earlier GC) on eight Xeon cores
+//! shows the paper's §5 claim: a huge nursery behaves exactly like the
+//! region allocator (bus-bound), and collecting early keeps the working
+//! set cache-resident at the price of more copying.
+
+use webmm_profiler::report::{heading, table};
+use webmm_sim::{
+    Category, ContextPort, MachineConfig, MemHierarchy, MemoryPort, PageSize, ProcessMem,
+};
+use webmm_workload::{mediawiki_read, TxStream, WorkOp};
+
+/// A miniature semi-space nursery over simulated memory.
+struct Nursery {
+    base: [webmm_sim::Addr; 2],
+    active: usize,
+    cursor: u64,
+    size: u64,
+    collections: u64,
+    bytes_copied: u64,
+}
+
+impl Nursery {
+    fn new(port: &mut dyn MemoryPort, size: u64) -> Self {
+        Nursery {
+            base: [
+                port.os_alloc(size, 4096, PageSize::Base),
+                port.os_alloc(size, 4096, PageSize::Base),
+            ],
+            active: 0,
+            cursor: 0,
+            size,
+            collections: 0,
+            bytes_copied: 0,
+        }
+    }
+
+    /// Bump-allocates; returns `None` when a collection is needed.
+    fn alloc(&mut self, port: &mut dyn MemoryPort, size: u64) -> Option<webmm_sim::Addr> {
+        let rounded = (size + 7) & !7;
+        port.exec(6); // the pointer increment + limit check
+        if self.cursor + rounded > self.size {
+            return None;
+        }
+        let addr = self.base[self.active] + self.cursor;
+        self.cursor += rounded;
+        Some(addr)
+    }
+
+    /// Grows both semi-spaces (the VM resizing its heap when the live set
+    /// outgrows the nursery).
+    fn grow(&mut self, port: &mut dyn MemoryPort) {
+        self.size *= 2;
+        self.base = [
+            port.os_alloc(self.size, 4096, PageSize::Base),
+            port.os_alloc(self.size, 4096, PageSize::Base),
+        ];
+        self.cursor = self.size; // force a collection into the new space
+        self.active = 0;
+    }
+
+    /// Copies the live objects into the other semi-space and flips.
+    fn collect(
+        &mut self,
+        port: &mut dyn MemoryPort,
+        live: &mut std::collections::HashMap<u64, (webmm_sim::Addr, u64)>,
+    ) {
+        self.collections += 1;
+        let to = 1 - self.active;
+        let mut cursor = 0u64;
+        for (_, slot) in live.iter_mut() {
+            let (old, size) = *slot;
+            let rounded = (size + 7) & !7;
+            let new = self.base[to] + cursor;
+            port.memcpy(new, old, size); // the GC's copy traffic
+            port.exec(20); // scan/forward bookkeeping per object
+            *slot = (new, size);
+            cursor += rounded;
+            self.bytes_copied += size;
+        }
+        self.active = to;
+        self.cursor = cursor;
+    }
+}
+
+fn run_gc(machine: &MachineConfig, nursery_bytes: u64, scale: u32) -> (f64, f64, u64) {
+    let contexts = machine.contexts() as usize;
+    let mut hier = MemHierarchy::new(machine);
+    let mut procs: Vec<_> = (0..contexts)
+        .map(|pid| {
+            let mut mem = ProcessMem::new(((pid as u64) + 1) << 40);
+            let code = mem.register_code_at(
+                webmm_sim::Addr::new(0x7100_0000_0000),
+                webmm_sim::CodeSpec::new(768 * 1024, 12 * 1024),
+            );
+            let stream = TxStream::new(mediawiki_read(), scale, 42 ^ pid as u64);
+            (mem, code, stream, None::<Nursery>, std::collections::HashMap::new(), 0u64)
+        })
+        .collect();
+
+    // Run every context for a fixed number of transactions, interleaved.
+    let target_tx = 6u64;
+    loop {
+        let mut all_done = true;
+        for ctx in 0..contexts {
+            let (mem, code, stream, nursery, live, done) = &mut procs[ctx];
+            if *done >= target_tx {
+                continue;
+            }
+            all_done = false;
+            let mut port = ContextPort::new(mem, &mut hier, ctx);
+            port.set_code_region(*code);
+            let n = nursery.get_or_insert_with(|| Nursery::new(&mut port, nursery_bytes));
+            for _ in 0..32 {
+                match stream.next_op() {
+                    WorkOp::Malloc { id, size } => {
+                        port.set_category(Category::MemoryManagement);
+                        let addr = loop {
+                            if let Some(a) = n.alloc(&mut port, size) {
+                                break a;
+                            }
+                            n.collect(&mut port, live);
+                            if n.size - n.cursor < size + 8 {
+                                // Live set fills the nursery: the VM grows.
+                                n.grow(&mut port);
+                                n.collect(&mut port, live);
+                            }
+                        };
+                        live.insert(id, (addr, size));
+                    }
+                    // A GC language has no free(): dropping the reference
+                    // is all that happens (the object stays in the nursery).
+                    WorkOp::Free { id } => {
+                        live.remove(&id);
+                    }
+                    WorkOp::Realloc { id, new_size } => {
+                        port.set_category(Category::MemoryManagement);
+                        let (old, old_size) = live[&id];
+                        let addr = loop {
+                            if let Some(a) = n.alloc(&mut port, new_size) {
+                                break a;
+                            }
+                            n.collect(&mut port, live);
+                            if n.size - n.cursor < new_size + 8 {
+                                n.grow(&mut port);
+                                n.collect(&mut port, live);
+                            }
+                        };
+                        // `live` may have moved `id` during collect.
+                        let src = live.get(&id).map_or(old, |v| v.0);
+                        port.memcpy(addr, src, old_size.min(new_size));
+                        live.insert(id, (addr, new_size));
+                    }
+                    WorkOp::Touch { id, write } => {
+                        if let Some(&(addr, size)) = live.get(&id) {
+                            port.set_category(Category::Application);
+                            port.touch(addr, size, write);
+                        }
+                    }
+                    WorkOp::Compute { instr } => {
+                        port.set_category(Category::Application);
+                        port.exec(instr);
+                    }
+                    WorkOp::StaticTouch { offset, len } => {
+                        port.set_category(Category::Application);
+                        port.touch(webmm_sim::Addr::new(0x7000_0000_0000) + offset, len, false);
+                    }
+                    WorkOp::EndTx => {
+                        *done += 1;
+                        // Transaction-scoped: everything unreachable now.
+                        live.clear();
+                    }
+                }
+            }
+        }
+        if all_done {
+            break;
+        }
+    }
+
+    // Events → throughput via the same fixed point as the main study.
+    let events: Vec<_> = (0..contexts).map(|c| *hier.counters(c)).collect();
+    let t = webmm_runtime::solve(machine, &events, target_tx, machine.cores);
+    let collections: u64 = procs.iter().map(|p| p.3.as_ref().map_or(0, |n| n.collections)).sum();
+    (t.tx_per_sec, t.bus_utilization, collections)
+}
+
+fn main() {
+    let scale: u32 =
+        std::env::var("WEBMM_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(32);
+    let machine = MachineConfig::xeon_clovertown();
+    print!(
+        "{}",
+        heading("§5 discussion: a copying-GC nursery on 8 Xeon cores (MediaWiki r/o, MicroPhase sweep)")
+    );
+    let mut rows = vec![vec![
+        "nursery".to_string(),
+        "tx/s".to_string(),
+        "bus rho".to_string(),
+        "collections".to_string(),
+    ]];
+    for nursery_kb in [32u64, 64, 128, 512, 2048, 8192] {
+        let (tps, rho, gcs) = run_gc(&machine, nursery_kb * 1024, scale);
+        rows.push(vec![
+            format!("{} KB", nursery_kb),
+            format!("{tps:8.1}"),
+            format!("{rho:.2}"),
+            gcs.to_string(),
+        ]);
+    }
+    print!("{}", table(&rows));
+    println!("\npaper §5: a huge nursery never reuses lines (region-allocator behaviour,");
+    println!("bus-bound); collecting early — MicroPhase — keeps the nursery cache-resident");
+    println!("at the cost of copying, so throughput peaks at an intermediate nursery size.");
+}

@@ -1,0 +1,34 @@
+//! Utility: dump a workload's operation stream as a JSON-lines trace.
+//!
+//! Usage: `dump_trace <workload> [transactions] [scale] [seed] > out.jsonl`
+//!
+//! Traces are self-describing artifacts for external analysis (or for
+//! replaying one exact stream against several allocators via
+//! `webmm_workload::trace::TraceReplay`).
+
+use std::io::Write;
+use webmm_workload::{by_name, trace, TxStream};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(spec) = args.get(1).and_then(|n| by_name(n)) else {
+        eprintln!("usage: dump_trace <workload> [transactions] [scale] [seed]");
+        eprintln!("workloads: {}", webmm_workload::php_workloads()
+            .iter().map(|w| format!("{:?}", w.name)).collect::<Vec<_>>().join(", "));
+        std::process::exit(2);
+    };
+    let transactions: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let scale: u32 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(64);
+    let seed: u64 = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(42);
+
+    let mut stream = TxStream::new(spec, scale, seed);
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    trace::write_trace(&mut stream, transactions, &mut out).expect("write trace");
+    out.flush().expect("flush");
+    let st = stream.stats();
+    eprintln!(
+        "wrote {} transactions: {} mallocs, {} frees, {} reallocs (scale 1/{scale})",
+        st.transactions, st.mallocs, st.frees, st.reallocs
+    );
+}

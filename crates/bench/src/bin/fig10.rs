@@ -1,0 +1,63 @@
+//! Figure 10 — Ruby on Rails throughput with various general-purpose
+//! allocators on 8 Xeon cores.
+//!
+//! §4.4 setup: the Ruby runtime never calls `freeAll`; every allocator —
+//! including DDmalloc — relies on per-object free, and processes restart
+//! every 500 transactions to clean the heap ("a common practice"). Paper
+//! result: DDmalloc beats glibc by 13.6% and the next best (TCmalloc)
+//! by 5.3%.
+
+use webmm_alloc::AllocatorKind;
+use webmm_bench::{cached_run, paper, BenchOpts};
+use webmm_profiler::report::{heading, rel, table};
+use webmm_runtime::RunConfig;
+use webmm_sim::MachineConfig;
+use webmm_workload::rails;
+
+/// Restart period in (scaled) transactions, matching the paper's 500.
+const RESTART: u64 = 500;
+
+fn main() {
+    let opts = BenchOpts::from_env();
+    let machine = MachineConfig::xeon_clovertown();
+    print!(
+        "{}",
+        heading("Figure 10: Ruby on Rails throughput, 8 Xeon cores, restart every 500 tx")
+    );
+    // Long enough to cross at least one restart per context.
+    let measure = opts.measure.max(RESTART / 8);
+    let mut rows = vec![vec![
+        "allocator".to_string(),
+        "tx/s".to_string(),
+        "vs glibc".to_string(),
+        "(paper)".to_string(),
+    ]];
+    let mut base = None;
+    let mut results = Vec::new();
+    for kind in AllocatorKind::RUBY_STUDY {
+        let cfg = RunConfig::new(kind, rails())
+            .scale(opts.scale)
+            .cores(8)
+            .window(opts.warmup, measure)
+            .restart_every(Some(RESTART))
+            .no_free_all();
+        let r = cached_run(&machine, &cfg, &opts);
+        let tps = r.throughput.tx_per_sec;
+        let b = *base.get_or_insert(tps);
+        let published = match kind {
+            AllocatorKind::Dl => "(+0.0%)".to_string(),
+            AllocatorKind::DdMalloc => format!("(+{:.1}%)", paper::FIG10_DD_OVER_GLIBC),
+            _ => "-".to_string(),
+        };
+        rows.push(vec![r.allocator.clone(), format!("{tps:8.1}"), rel(tps, b), published]);
+        results.push((kind, tps));
+    }
+    print!("{}", table(&rows));
+    let dd = results.iter().find(|(k, _)| *k == AllocatorKind::DdMalloc).expect("dd ran").1;
+    let tc = results.iter().find(|(k, _)| *k == AllocatorKind::TcMalloc).expect("tc ran").1;
+    println!(
+        "\nDDmalloc over TCmalloc: {:+.1}% (paper: +{:.1}%)",
+        (dd / tc - 1.0) * 100.0,
+        paper::FIG10_DD_OVER_TCMALLOC
+    );
+}

@@ -1,0 +1,61 @@
+//! Figure 11 — breakdown of CPU time per transaction for Ruby on Rails on
+//! 8 Xeon cores, normalized against glibc.
+//!
+//! Paper: "DDmalloc obviously spent the least time on memory operations
+//! among the tested allocators by avoiding the costs for defragmentation
+//! activities" — even against allocators that only *delay* it (TCmalloc).
+
+use webmm_alloc::AllocatorKind;
+use webmm_bench::{cached_run, BenchOpts};
+use webmm_profiler::breakdown;
+use webmm_profiler::report::{heading, table};
+use webmm_runtime::RunConfig;
+use webmm_sim::MachineConfig;
+use webmm_workload::rails;
+
+fn main() {
+    let opts = BenchOpts::from_env();
+    let machine = MachineConfig::xeon_clovertown();
+    print!(
+        "{}",
+        heading("Figure 11: Ruby on Rails CPU breakdown (normalized to glibc = 100)")
+    );
+    let measure = opts.measure.max(64);
+    let runs: Vec<_> = AllocatorKind::RUBY_STUDY
+        .into_iter()
+        .map(|kind| {
+            let cfg = RunConfig::new(kind, rails())
+                .scale(opts.scale)
+                .cores(8)
+                .window(opts.warmup, measure)
+                .restart_every(Some(500))
+                .no_free_all();
+            cached_run(&machine, &cfg, &opts)
+        })
+        .collect();
+    let norm = breakdown(&runs[0]).total() / 100.0;
+    let mut rows = vec![vec![
+        "allocator".to_string(),
+        "mm".to_string(),
+        "others".to_string(),
+        "total".to_string(),
+    ]];
+    let mut mm_values = Vec::new();
+    for r in &runs {
+        let b = breakdown(r);
+        mm_values.push((r.allocator.clone(), b.mm_cycles));
+        rows.push(vec![
+            r.allocator.clone(),
+            format!("{:5.1}", b.mm_cycles / norm),
+            format!("{:5.1}", b.other_cycles / norm),
+            format!("{:5.1}", b.total() / norm),
+        ]);
+    }
+    print!("{}", table(&rows));
+    let least = mm_values
+        .iter()
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .map(|(n, _)| n.clone())
+        .unwrap_or_default();
+    println!("\nleast memory-management time: {least} (paper: our DDmalloc)");
+}

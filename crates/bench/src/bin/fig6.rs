@@ -1,0 +1,62 @@
+//! Figure 6 — breakdown of CPU time per transaction on 8 Xeon cores:
+//! memory management versus everything else, normalized to the default
+//! allocator (= 100), for every workload and allocator.
+
+use webmm_alloc::AllocatorKind;
+use webmm_bench::{php_run, BenchOpts};
+use webmm_profiler::breakdown;
+use webmm_profiler::report::{heading, table};
+use webmm_sim::MachineConfig;
+use webmm_workload::php_workloads;
+
+fn main() {
+    let opts = BenchOpts::from_env();
+    let machine = MachineConfig::xeon_clovertown();
+    print!(
+        "{}",
+        heading("Figure 6: CPU time per transaction, normalized to the default allocator (8 Xeon cores)")
+    );
+    let mut rows = vec![vec![
+        "workload".to_string(),
+        "allocator".to_string(),
+        "mm".to_string(),
+        "others".to_string(),
+        "total".to_string(),
+        "mm cut".to_string(),
+    ]];
+    let mut region_cuts = Vec::new();
+    let mut dd_cuts = Vec::new();
+    for wl in php_workloads() {
+        let base = breakdown(&php_run(&machine, AllocatorKind::PhpDefault, wl.clone(), 8, &opts));
+        let norm = base.total() / 100.0;
+        for kind in AllocatorKind::PHP_STUDY {
+            let b = breakdown(&php_run(&machine, kind, wl.clone(), 8, &opts));
+            let cut = 1.0 - b.mm_cycles / base.mm_cycles;
+            if kind == AllocatorKind::Region {
+                region_cuts.push(cut);
+            }
+            if kind == AllocatorKind::DdMalloc {
+                dd_cuts.push(cut);
+            }
+            rows.push(vec![
+                wl.name.to_string(),
+                kind.id().to_string(),
+                format!("{:5.1}", b.mm_cycles / norm),
+                format!("{:5.1}", b.other_cycles / norm),
+                format!("{:5.1}", b.total() / norm),
+                if kind == AllocatorKind::PhpDefault {
+                    "-".to_string()
+                } else {
+                    format!("{:.0}%", cut * 100.0)
+                },
+            ]);
+        }
+    }
+    print!("{}", table(&rows));
+    let avg = |v: &[f64]| 100.0 * v.iter().sum::<f64>() / v.len() as f64;
+    println!(
+        "\nmm-time reduction vs default: region {:.0}% avg (paper: 85%), ddmalloc {:.0}% avg (paper: 56% avg, 65% max)",
+        avg(&region_cuts),
+        avg(&dd_cuts)
+    );
+}

@@ -1,0 +1,53 @@
+//! Figure 7 — throughput of MediaWiki (read-only) with increasing numbers
+//! of cores on Xeon and Niagara.
+//!
+//! The paper's scalability picture: DDmalloc roughly ties the region
+//! allocator at low core counts, then pulls ahead as the region
+//! allocator's bus traffic starts to bite.
+
+use webmm_alloc::AllocatorKind;
+use webmm_bench::{both_machines, php_run, BenchOpts};
+use webmm_profiler::report::{heading, table};
+use webmm_workload::mediawiki_read;
+
+fn main() {
+    let opts = BenchOpts::from_env();
+    for machine in both_machines() {
+        print!(
+            "{}",
+            heading(&format!(
+                "Figure 7: MediaWiki (read only) throughput vs cores, {}",
+                machine.name
+            ))
+        );
+        let mut rows = vec![vec![
+            "cores".to_string(),
+            "default (tx/s)".to_string(),
+            "region".to_string(),
+            "ddmalloc".to_string(),
+            "best".to_string(),
+        ]];
+        for cores in [1u32, 2, 4, 8] {
+            let mut tps = Vec::new();
+            for kind in AllocatorKind::PHP_STUDY {
+                let r = php_run(&machine, kind, mediawiki_read(), cores, &opts);
+                tps.push((kind.id(), r.throughput.tx_per_sec));
+            }
+            let best = tps
+                .iter()
+                .max_by(|a, b| a.1.total_cmp(&b.1))
+                .map(|(id, _)| (*id).to_string())
+                .unwrap_or_default();
+            rows.push(vec![
+                cores.to_string(),
+                format!("{:8.1}", tps[0].1),
+                format!("{:8.1}", tps[1].1),
+                format!("{:8.1}", tps[2].1),
+                best,
+            ]);
+        }
+        print!("{}", table(&rows));
+    }
+    println!("\npaper shape: region ≈ ddmalloc up to 2 cores (Xeon) / 4 cores (Niagara);");
+    println!("ddmalloc scales best and wins at 8 cores on both platforms.");
+}

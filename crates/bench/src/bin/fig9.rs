@@ -1,0 +1,78 @@
+//! Figure 9 — comparison of the amount of memory consumed, under the
+//! paper's per-allocator definitions (§4.3), relative to the default
+//! allocator.
+//!
+//! Paper headlines: DDmalloc consumes ~24% more memory than the default
+//! (segregated storage trades space for speed); the region-based
+//! allocator consumes ~3x on average and >7x in the worst case.
+
+use webmm_alloc::AllocatorKind;
+use webmm_bench::{paper, php_run, BenchOpts};
+use webmm_profiler::memory_consumption;
+use webmm_profiler::report::{bytes, heading, table};
+use webmm_sim::MachineConfig;
+use webmm_workload::php_workloads;
+
+fn main() {
+    let mut opts = BenchOpts::from_env();
+    // Memory consumption has granularity floors (Zend's 256 KB arenas,
+    // DDmalloc's one-segment-per-class minimum) that do not shrink with
+    // the workload; measure at the finest tractable scale so live sets
+    // dominate the floors. Footprints converge within a transaction or
+    // two, so the window can be short.
+    opts.scale = (opts.scale / 4).max(8);
+    opts.warmup = 1;
+    opts.measure = 2;
+    let machine = MachineConfig::xeon_clovertown();
+    print!("{}", heading(&format!(
+        "Figure 9: memory consumed during transactions (8 Xeon cores, scale 1/{})",
+        opts.scale
+    )));
+    let mut rows = vec![vec![
+        "workload".to_string(),
+        "default".to_string(),
+        "region".to_string(),
+        "(ratio)".to_string(),
+        "ddmalloc".to_string(),
+        "(ratio)".to_string(),
+    ]];
+    let mut region_ratios = Vec::new();
+    let mut dd_ratios = Vec::new();
+    for wl in php_workloads() {
+        let base = memory_consumption(&php_run(
+            &machine,
+            AllocatorKind::PhpDefault,
+            wl.clone(),
+            8,
+            &opts,
+        )) as f64;
+        let reg =
+            memory_consumption(&php_run(&machine, AllocatorKind::Region, wl.clone(), 8, &opts))
+                as f64;
+        let dd =
+            memory_consumption(&php_run(&machine, AllocatorKind::DdMalloc, wl.clone(), 8, &opts))
+                as f64;
+        region_ratios.push(reg / base);
+        dd_ratios.push(dd / base);
+        rows.push(vec![
+            wl.name.to_string(),
+            bytes(base as u64),
+            bytes(reg as u64),
+            format!("{:.2}x", reg / base),
+            bytes(dd as u64),
+            format!("{:.2}x", dd / base),
+        ]);
+    }
+    print!("{}", table(&rows));
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let max = |v: &[f64]| v.iter().cloned().fold(0.0, f64::max);
+    println!(
+        "\naverages: region {:.2}x (paper {:.1}x, worst >7x; ours worst {:.2}x), ddmalloc {:.2}x (paper {:.2}x)",
+        avg(&region_ratios),
+        paper::FIG9_REGION_RATIO_AVG,
+        max(&region_ratios),
+        avg(&dd_ratios),
+        paper::FIG9_DD_RATIO_AVG,
+    );
+    println!("note: consumption is per transaction scaled by 1/{}; ratios are scale-free.", opts.scale);
+}

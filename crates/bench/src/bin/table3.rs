@@ -1,0 +1,55 @@
+//! Table 3 — per-transaction allocator-call statistics of the generated
+//! workload streams, checked against the paper's published values.
+//!
+//! The streams are parameterized *from* Table 3, so this harness validates
+//! that the generator reproduces what it was told: call counts scale back
+//! up to the paper's numbers, and the mean allocation size matches.
+
+use webmm_bench::BenchOpts;
+use webmm_profiler::report::{heading, table};
+use webmm_workload::{php_workloads, TxStream, WorkOp};
+
+fn main() {
+    let opts = BenchOpts::from_env();
+    print!(
+        "{}",
+        heading(&format!(
+            "Table 3: malloc/free/realloc per transaction (generated at scale {}, rescaled)",
+            opts.scale
+        ))
+    );
+    let mut rows = vec![vec![
+        "workload".to_string(),
+        "malloc".to_string(),
+        "(paper)".to_string(),
+        "free".to_string(),
+        "(paper)".to_string(),
+        "realloc".to_string(),
+        "(paper)".to_string(),
+        "size".to_string(),
+        "(paper)".to_string(),
+    ]];
+    for spec in php_workloads() {
+        let mut stream = TxStream::new(spec.clone(), opts.scale, 42);
+        let mut done = 0;
+        while done < 6 {
+            if stream.next_op() == WorkOp::EndTx {
+                done += 1;
+            }
+        }
+        let st = stream.stats();
+        let per_tx = |n: u64| n as f64 / st.transactions as f64 * f64::from(opts.scale);
+        rows.push(vec![
+            spec.name.to_string(),
+            format!("{:.0}", per_tx(st.mallocs)),
+            format!("{}", spec.mallocs_per_tx),
+            format!("{:.0}", per_tx(st.frees)),
+            format!("{}", spec.frees_per_tx),
+            format!("{:.0}", per_tx(st.reallocs)),
+            format!("{}", spec.reallocs_per_tx),
+            format!("{:.1}", st.mean_alloc_bytes()),
+            format!("{:.1}", spec.mean_alloc_bytes),
+        ]);
+    }
+    print!("{}", table(&rows));
+}

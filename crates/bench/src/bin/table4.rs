@@ -1,0 +1,66 @@
+//! Table 4 — throughput with 1 and 8 cores for every workload, allocator
+//! and platform, with the paper's published numbers side by side.
+//!
+//! Absolute transactions/second are not comparable (simulated machine,
+//! scaled transactions); the columns that must line up are the
+//! *relative* throughputs (the parenthesized percentages) and the 1→8 core
+//! speedups.
+
+use webmm_alloc::AllocatorKind;
+use webmm_bench::{both_machines, paper, php_run, BenchOpts};
+use webmm_profiler::report::{heading, table};
+use webmm_workload::php_workloads;
+
+fn main() {
+    let opts = BenchOpts::from_env();
+    for machine in both_machines() {
+        let xeon = machine.prefetch.is_some();
+        print!("{}", heading(&format!("Table 4: speedups with 8 cores, {}", machine.name)));
+        let mut rows = vec![vec![
+            "workload".to_string(),
+            "allocator".to_string(),
+            "1-core rel".to_string(),
+            "(paper)".to_string(),
+            "8-core rel".to_string(),
+            "(paper)".to_string(),
+            "speedup".to_string(),
+            "(paper)".to_string(),
+        ]];
+        for wl in php_workloads() {
+            let base1 = php_run(&machine, AllocatorKind::PhpDefault, wl.clone(), 1, &opts);
+            let base8 = php_run(&machine, AllocatorKind::PhpDefault, wl.clone(), 8, &opts);
+            for kind in AllocatorKind::PHP_STUDY {
+                let r1 = php_run(&machine, kind, wl.clone(), 1, &opts);
+                let r8 = php_run(&machine, kind, wl.clone(), 8, &opts);
+                let rel1 = (r1.throughput.tx_per_sec / base1.throughput.tx_per_sec - 1.0) * 100.0;
+                let rel8 = (r8.throughput.tx_per_sec / base8.throughput.tx_per_sec - 1.0) * 100.0;
+                let speedup = r8.throughput.tx_per_sec / r1.throughput.tx_per_sec;
+                let p = paper::table4(wl.name, kind.id());
+                let (p1, p8, ps) = p.map_or(("-".into(), "-".into(), "-".to_string()), |t| {
+                    let b = paper::table4(wl.name, "php-default").expect("baseline row");
+                    let (o1, o8, b1, b8) = if xeon {
+                        (t.xeon_1c, t.xeon_8c, b.xeon_1c, b.xeon_8c)
+                    } else {
+                        (t.niagara_1c, t.niagara_8c, b.niagara_1c, b.niagara_8c)
+                    };
+                    (
+                        format!("{:+.1}%", (o1 / b1 - 1.0) * 100.0),
+                        format!("{:+.1}%", (o8 / b8 - 1.0) * 100.0),
+                        format!("{:.1}x", o8 / o1),
+                    )
+                });
+                rows.push(vec![
+                    wl.name.to_string(),
+                    kind.id().to_string(),
+                    format!("{rel1:+.1}%"),
+                    p1,
+                    format!("{rel8:+.1}%"),
+                    p8,
+                    format!("{speedup:.1}x"),
+                    ps,
+                ]);
+            }
+        }
+        print!("{}", table(&rows));
+    }
+}

@@ -1,0 +1,151 @@
+//! Shared support for the experiment harnesses in `src/bin`.
+//!
+//! Every harness regenerates one table or figure of the paper (see
+//! `DESIGN.md` for the index). This library provides:
+//!
+//! * [`BenchOpts`] — common knobs (scale, measurement window) read from
+//!   the environment so `cargo bench`/CI can shrink or grow the runs;
+//! * [`cached_run`] — a JSON-file cache of [`RunResult`]s keyed by the
+//!   full run configuration, so figures sharing runs (5, 6, 8, 9 all use
+//!   the same eight-core sweeps) don't recompute them;
+//! * [`paper`] — the published numbers (Table 3 and Table 4 are printed
+//!   in full in the paper), so every harness can show paper-vs-measured
+//!   side by side.
+
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+use webmm_alloc::AllocatorKind;
+use webmm_runtime::{run, RunConfig, RunResult};
+use webmm_sim::MachineConfig;
+use webmm_workload::WorkloadSpec;
+
+pub mod paper;
+
+/// Common harness options.
+#[derive(Clone, Debug)]
+pub struct BenchOpts {
+    /// Workload scale divisor (power of two; 1 = the paper's full
+    /// transaction sizes). Default 16; override with `WEBMM_SCALE`.
+    pub scale: u32,
+    /// Warm-up transactions per context (`WEBMM_WARMUP`, default 2).
+    pub warmup: u64,
+    /// Measured transactions per context (`WEBMM_MEASURE`, default 4).
+    pub measure: u64,
+    /// Skip the result cache (`WEBMM_NO_CACHE=1`).
+    pub no_cache: bool,
+}
+
+impl Default for BenchOpts {
+    fn default() -> Self {
+        BenchOpts { scale: 16, warmup: 2, measure: 4, no_cache: false }
+    }
+}
+
+impl BenchOpts {
+    /// Reads options from `WEBMM_*` environment variables.
+    pub fn from_env() -> Self {
+        fn get<T: std::str::FromStr>(k: &str) -> Option<T> {
+            std::env::var(k).ok().and_then(|v| v.parse().ok())
+        }
+        BenchOpts {
+            scale: get("WEBMM_SCALE").unwrap_or(16),
+            warmup: get("WEBMM_WARMUP").unwrap_or(2),
+            measure: get("WEBMM_MEASURE").unwrap_or(4),
+            no_cache: std::env::var("WEBMM_NO_CACHE").is_ok(),
+        }
+    }
+
+    /// Builds a [`RunConfig`] with these options applied.
+    pub fn config(&self, kind: AllocatorKind, workload: WorkloadSpec, cores: u32) -> RunConfig {
+        RunConfig::new(kind, workload)
+            .scale(self.scale)
+            .cores(cores)
+            .window(self.warmup, self.measure)
+    }
+}
+
+fn cache_dir() -> PathBuf {
+    let mut p = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    // Walk up to the workspace root (the directory containing `crates/`).
+    while !p.join("crates").is_dir() {
+        if !p.pop() {
+            p = PathBuf::from(".");
+            break;
+        }
+    }
+    p.join("target").join("webmm-cache")
+}
+
+/// Bump when any allocator/simulator cost constant changes, so stale
+/// cached results are never reused across code versions.
+const CACHE_VERSION: u32 = 2;
+
+fn cache_key(machine: &MachineConfig, cfg: &RunConfig) -> String {
+    format!(
+        "v{CACHE_VERSION}_{}pf{}_{}_{}_{}c_s{}_w{}m{}_r{}_{}_dd{}",
+        machine.name.replace([' ', '(', ')'], ""),
+        machine.prefetch.is_some(),
+        cfg.allocator.kind.id(),
+        cfg.workload.name.replace([' ', '(', ')', '/'], ""),
+        cfg.active_cores,
+        cfg.scale,
+        cfg.warmup_tx,
+        cfg.measure_tx,
+        cfg.restart_every.map_or("none".to_string(), |n| n.to_string()),
+        if cfg.use_free_all { "fa" } else { "nofa" },
+        cfg.allocator
+            .dd_override
+            .as_ref()
+            .map_or("default".to_string(), |d| {
+                format!(
+                    "{}k{:?}lp{}mo{}",
+                    d.segment_bytes / 1024,
+                    d.mapping,
+                    d.large_pages,
+                    d.metadata_offset
+                )
+            }),
+    )
+}
+
+/// Runs a configuration, consulting the on-disk result cache first.
+///
+/// The cache key covers the machine, allocator (including DDmalloc
+/// overrides), workload, core count, scale, window and restart period;
+/// runs are deterministic, so a hit is exact.
+pub fn cached_run(machine: &MachineConfig, cfg: &RunConfig, opts: &BenchOpts) -> RunResult {
+    let dir = cache_dir();
+    let path = dir.join(format!("{}.json", cache_key(machine, cfg)));
+    if !opts.no_cache {
+        if let Ok(data) = std::fs::read_to_string(&path) {
+            if let Ok(result) = serde_json::from_str::<RunResult>(&data) {
+                return result;
+            }
+        }
+    }
+    let result = run(machine, cfg);
+    if !opts.no_cache {
+        let _ = std::fs::create_dir_all(&dir);
+        if let Ok(json) = serde_json::to_string(&result) {
+            let _ = std::fs::write(&path, json);
+        }
+    }
+    result
+}
+
+/// Convenience: run `kind` on `workload` with `cores` under `opts`.
+pub fn php_run(
+    machine: &MachineConfig,
+    kind: AllocatorKind,
+    workload: WorkloadSpec,
+    cores: u32,
+    opts: &BenchOpts,
+) -> RunResult {
+    cached_run(machine, &opts.config(kind, workload, cores), opts)
+}
+
+/// The two platforms, in the paper's order.
+pub fn both_machines() -> [MachineConfig; 2] {
+    [MachineConfig::xeon_clovertown(), MachineConfig::niagara_t1()]
+}

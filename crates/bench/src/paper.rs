@@ -1,0 +1,139 @@
+//! The paper's published numbers, for side-by-side comparison.
+//!
+//! Table 4 is printed in full in the paper (throughput with 1 and 8 cores
+//! for every workload, allocator, and platform); the headline percentages
+//! of the abstract and §4.3/§4.4 are also recorded here so each harness
+//! can print paper-vs-measured without hand-copying.
+
+/// One (workload, allocator) row of the paper's Table 4.
+#[derive(Copy, Clone, Debug)]
+pub struct Table4Entry {
+    /// Workload name (matches `WorkloadSpec::name`).
+    pub workload: &'static str,
+    /// Allocator id (matches `AllocatorKind::id`).
+    pub allocator: &'static str,
+    /// Xeon, one core: transactions per second.
+    pub xeon_1c: f64,
+    /// Xeon, eight cores.
+    pub xeon_8c: f64,
+    /// Niagara, one core.
+    pub niagara_1c: f64,
+    /// Niagara, eight cores.
+    pub niagara_8c: f64,
+}
+
+/// The paper's Table 4, verbatim.
+pub const TABLE4: &[Table4Entry] = &[
+    e("MediaWiki (read only)", "php-default", 25.3, 156.6, 14.9, 111.0),
+    e("MediaWiki (read only)", "region", 26.4, 145.7, 16.5, 113.3),
+    e("MediaWiki (read only)", "ddmalloc", 26.4, 167.9, 16.5, 122.2),
+    e("MediaWiki (read/write)", "php-default", 11.7, 79.6, 5.2, 40.0),
+    e("MediaWiki (read/write)", "region", 12.5, 59.7, 5.5, 39.6),
+    e("MediaWiki (read/write)", "ddmalloc", 12.7, 85.5, 5.6, 43.5),
+    e("SugarCRM", "php-default", 19.4, 134.6, 8.1, 64.4),
+    e("SugarCRM", "region", 20.8, 98.0, 9.2, 62.3),
+    e("SugarCRM", "ddmalloc", 21.1, 148.4, 8.8, 69.7),
+    e("eZ Publish", "php-default", 28.5, 178.6, 13.6, 99.4),
+    e("eZ Publish", "region", 31.8, 138.3, 16.5, 94.4),
+    e("eZ Publish", "ddmalloc", 32.2, 196.3, 15.8, 110.8),
+    e("phpBB", "php-default", 62.6, 402.4, 30.5, 234.0),
+    e("phpBB", "region", 69.2, 393.5, 35.9, 259.1),
+    e("phpBB", "ddmalloc", 69.5, 447.2, 34.0, 259.8),
+    e("CakePHP", "php-default", 28.3, 191.6, 12.6, 96.7),
+    e("CakePHP", "region", 31.6, 185.7, 13.8, 101.6),
+    e("CakePHP", "ddmalloc", 30.8, 206.6, 13.6, 103.8),
+    e("SPECweb2005", "php-default", 188.6, 970.0, 115.5, 699.3),
+    e("SPECweb2005", "region", 197.3, 960.4, 118.3, 705.4),
+    e("SPECweb2005", "ddmalloc", 194.3, 977.3, 118.4, 709.2),
+];
+
+const fn e(
+    workload: &'static str,
+    allocator: &'static str,
+    xeon_1c: f64,
+    xeon_8c: f64,
+    niagara_1c: f64,
+    niagara_8c: f64,
+) -> Table4Entry {
+    Table4Entry { workload, allocator, xeon_1c, xeon_8c, niagara_1c, niagara_8c }
+}
+
+/// Looks up a Table 4 entry.
+pub fn table4(workload: &str, allocator: &str) -> Option<&'static Table4Entry> {
+    TABLE4.iter().find(|t| t.workload == workload && t.allocator == allocator)
+}
+
+/// Relative throughput over the default allocator at the paper's scale,
+/// in percent — the series Figure 5 plots.
+pub fn fig5_relative(workload: &str, allocator: &str, xeon: bool, eight_cores: bool) -> Option<f64> {
+    let ours = table4(workload, allocator)?;
+    let base = table4(workload, "php-default")?;
+    let (o, b) = match (xeon, eight_cores) {
+        (true, true) => (ours.xeon_8c, base.xeon_8c),
+        (true, false) => (ours.xeon_1c, base.xeon_1c),
+        (false, true) => (ours.niagara_8c, base.niagara_8c),
+        (false, false) => (ours.niagara_1c, base.niagara_1c),
+    };
+    Some((o / b - 1.0) * 100.0)
+}
+
+/// §4.3 headline: the region allocator cut memory-management CPU time by
+/// this fraction on average (Figure 6).
+pub const FIG6_REGION_MM_CUT: f64 = 0.85;
+/// §4.3 headline: DDmalloc cut memory-management CPU time by 56% on
+/// average and up to 65%.
+pub const FIG6_DD_MM_CUT_AVG: f64 = 0.56;
+
+/// Figure 9 headlines: memory consumption relative to the default
+/// allocator (average over workloads).
+pub const FIG9_DD_RATIO_AVG: f64 = 1.24;
+/// Region-based average ratio (≈3×; worst case above 7×).
+pub const FIG9_REGION_RATIO_AVG: f64 = 3.0;
+
+/// Figure 10: Ruby on Rails throughput gain over glibc on 8 Xeon cores.
+pub const FIG10_DD_OVER_GLIBC: f64 = 13.6;
+/// Figure 10: DDmalloc over the next best allocator (TCmalloc).
+pub const FIG10_DD_OVER_TCMALLOC: f64 = 5.3;
+
+/// Figure 12: throughput improvement from restarting every 500
+/// transactions versus never restarting.
+pub const FIG12_DD_RESTART_500: f64 = 4.0;
+/// Figure 12: the same for glibc.
+pub const FIG12_GLIBC_RESTART_500: f64 = 1.1;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_is_complete() {
+        assert_eq!(TABLE4.len(), 21); // 7 workloads x 3 allocators
+        for wl in webmm_workload::php_workloads() {
+            for id in ["php-default", "region", "ddmalloc"] {
+                assert!(table4(wl.name, id).is_some(), "{} / {}", wl.name, id);
+            }
+        }
+    }
+
+    #[test]
+    fn fig5_relatives_match_the_parenthesized_percentages() {
+        // The paper prints (+7.2%) for DDmalloc on MediaWiki r/o, Xeon 8c.
+        let v = fig5_relative("MediaWiki (read only)", "ddmalloc", true, true).unwrap();
+        assert!((v - 7.2).abs() < 0.1, "{v}");
+        // And (-27.2%) for region on SugarCRM, Xeon 8c.
+        let v = fig5_relative("SugarCRM", "region", true, true).unwrap();
+        assert!((v + 27.2).abs() < 0.1, "{v}");
+        // And (+10.8%) for region on phpBB, Niagara 8c.
+        let v = fig5_relative("phpBB", "region", false, true).unwrap();
+        assert!((v - 10.8).abs() < 0.1, "{v}");
+    }
+
+    #[test]
+    fn speedups_match_the_paper() {
+        // Paper: default allocator speedups 6.2x (Xeon) / 7.5x (Niagara)
+        // on MediaWiki read-only.
+        let t = table4("MediaWiki (read only)", "php-default").unwrap();
+        assert!((t.xeon_8c / t.xeon_1c - 6.2).abs() < 0.1);
+        assert!((t.niagara_8c / t.niagara_1c - 7.5).abs() < 0.1);
+    }
+}

@@ -1,0 +1,149 @@
+//! Plain-text renderers for the experiment harnesses.
+//!
+//! The paper's figures become aligned text tables and ASCII bar charts on
+//! stdout — deterministic, diffable, and easy to eyeball against the
+//! published numbers (recorded side by side in `EXPERIMENTS.md`).
+
+/// Renders an aligned text table. The first row is treated as the header
+/// and underlined.
+///
+/// # Examples
+///
+/// ```
+/// use webmm_profiler::report::table;
+/// let out = table(&[
+///     vec!["workload".into(), "tx/s".into()],
+///     vec!["phpBB".into(), "402.4".into()],
+/// ]);
+/// assert!(out.contains("phpBB"));
+/// assert!(out.lines().count() >= 3);
+/// ```
+pub fn table(rows: &[Vec<String>]) -> String {
+    if rows.is_empty() {
+        return String::new();
+    }
+    let cols = rows.iter().map(Vec::len).max().unwrap_or(0);
+    let mut widths = vec![0usize; cols];
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    let render = |row: &[String]| -> String {
+        row.iter()
+            .enumerate()
+            .map(|(i, cell)| format!("{:w$}", cell, w = widths[i]))
+            .collect::<Vec<_>>()
+            .join("  ")
+            .trim_end()
+            .to_string()
+    };
+    let mut out = String::new();
+    out.push_str(&render(&rows[0]));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    out.push('\n');
+    for row in &rows[1..] {
+        out.push_str(&render(row));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders one horizontal bar scaled so that `max_value` fills `width`
+/// characters. Negative values render to the left of the axis.
+///
+/// # Examples
+///
+/// ```
+/// use webmm_profiler::report::bar;
+/// assert_eq!(bar(50.0, 100.0, 10), "|#####     ");
+/// assert_eq!(bar(-30.0, 100.0, 10).trim(), "###|");
+/// ```
+pub fn bar(value: f64, max_value: f64, width: usize) -> String {
+    let max_value = max_value.abs().max(f64::EPSILON);
+    let filled = ((value.abs() / max_value) * width as f64).round() as usize;
+    let filled = filled.min(width);
+    if value >= 0.0 {
+        format!("|{}{}", "#".repeat(filled), " ".repeat(width - filled))
+    } else {
+        format!("{}{}|{}", " ".repeat(width - filled), "#".repeat(filled), " ".repeat(width))
+    }
+}
+
+/// Formats bytes using binary units.
+///
+/// # Examples
+///
+/// ```
+/// use webmm_profiler::report::bytes;
+/// assert_eq!(bytes(1536), "1.5 KB");
+/// assert_eq!(bytes(3 * 1024 * 1024), "3.0 MB");
+/// ```
+pub fn bytes(n: u64) -> String {
+    let n = n as f64;
+    if n >= 1024.0 * 1024.0 * 1024.0 {
+        format!("{:.1} GB", n / (1024.0 * 1024.0 * 1024.0))
+    } else if n >= 1024.0 * 1024.0 {
+        format!("{:.1} MB", n / (1024.0 * 1024.0))
+    } else if n >= 1024.0 {
+        format!("{:.1} KB", n / 1024.0)
+    } else {
+        format!("{n:.0} B")
+    }
+}
+
+/// Formats a relative change as the paper prints it: `(+4.0%)`.
+///
+/// # Examples
+///
+/// ```
+/// use webmm_profiler::report::rel;
+/// assert_eq!(rel(1.04, 1.0), "(+4.0%)");
+/// assert_eq!(rel(0.93, 1.0), "(-7.0%)");
+/// ```
+pub fn rel(value: f64, base: f64) -> String {
+    format!("({:+.1}%)", (value / base - 1.0) * 100.0)
+}
+
+/// A section heading for harness output.
+pub fn heading(title: &str) -> String {
+    format!("\n=== {title} ===\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = table(&[
+            vec!["a".into(), "bbbb".into()],
+            vec!["cccc".into(), "d".into()],
+        ]);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].starts_with("---"));
+        // Second column starts at the same offset in all rows.
+        let off0 = lines[0].find("bbbb").unwrap();
+        let off2 = lines[2].find('d').unwrap();
+        assert_eq!(off0, off2);
+    }
+
+    #[test]
+    fn empty_table_is_empty() {
+        assert_eq!(table(&[]), "");
+    }
+
+    #[test]
+    fn bars_clamp() {
+        assert_eq!(bar(200.0, 100.0, 4), "|####");
+        assert_eq!(bar(0.0, 100.0, 4), "|    ");
+    }
+
+    #[test]
+    fn bytes_rounding() {
+        assert_eq!(bytes(999), "999 B");
+        assert_eq!(bytes(2 * 1024 * 1024 * 1024), "2.0 GB");
+    }
+}

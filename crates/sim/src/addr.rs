@@ -1,0 +1,192 @@
+//! Simulated 64-bit addresses.
+//!
+//! The simulator runs allocators inside a synthetic address space. [`Addr`]
+//! is a newtype over `u64` with the arithmetic helpers an allocator needs
+//! (offsetting, alignment, cache-line and page extraction) while keeping
+//! addresses statically distinct from plain sizes and counts.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A byte address in the simulated address space.
+///
+/// `Addr` supports `addr + offset` (`u64`), `addr - addr` (byte distance),
+/// and ordering. Construct with [`Addr::new`] and read the raw value with
+/// [`Addr::raw`].
+///
+/// # Examples
+///
+/// ```
+/// use webmm_sim::Addr;
+/// let a = Addr::new(0x1000);
+/// assert_eq!((a + 0x40).raw(), 0x1040);
+/// assert_eq!((a + 0x40) - a, 0x40);
+/// assert_eq!(a.align_up(0x1000), a);
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(u64);
+
+/// The null address. Used as the `next` terminator in intrusive free lists.
+pub const NULL_ADDR: Addr = Addr(0);
+
+impl Addr {
+    /// Creates an address from a raw 64-bit value.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        Addr(raw)
+    }
+
+    /// Returns the raw 64-bit value.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns `true` if this is the null address.
+    #[inline]
+    pub const fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Rounds the address down to a multiple of `align`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `align` is not a power of two.
+    #[inline]
+    pub const fn align_down(self, align: u64) -> Self {
+        debug_assert!(align.is_power_of_two());
+        Addr(self.0 & !(align - 1))
+    }
+
+    /// Rounds the address up to a multiple of `align`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `align` is not a power of two.
+    #[inline]
+    pub const fn align_up(self, align: u64) -> Self {
+        debug_assert!(align.is_power_of_two());
+        Addr((self.0 + align - 1) & !(align - 1))
+    }
+
+    /// Returns `true` if the address is a multiple of `align`.
+    #[inline]
+    pub const fn is_aligned(self, align: u64) -> bool {
+        self.0 % align == 0
+    }
+
+    /// Returns the offset of this address within an `align`-sized block.
+    #[inline]
+    pub const fn offset_in(self, align: u64) -> u64 {
+        debug_assert!(align.is_power_of_two());
+        self.0 & (align - 1)
+    }
+
+    /// Returns a checked difference, or `None` if `other > self`.
+    #[inline]
+    pub fn checked_sub(self, other: Addr) -> Option<u64> {
+        self.0.checked_sub(other.0)
+    }
+}
+
+impl Add<u64> for Addr {
+    type Output = Addr;
+    #[inline]
+    fn add(self, rhs: u64) -> Addr {
+        Addr(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Addr {
+    #[inline]
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<Addr> for Addr {
+    type Output = u64;
+    #[inline]
+    fn sub(self, rhs: Addr) -> u64 {
+        debug_assert!(self.0 >= rhs.0, "address subtraction underflow");
+        self.0 - rhs.0
+    }
+}
+
+impl Sub<u64> for Addr {
+    type Output = Addr;
+    #[inline]
+    fn sub(self, rhs: u64) -> Addr {
+        Addr(self.0 - rhs)
+    }
+}
+
+impl fmt::Debug for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Addr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(raw: u64) -> Self {
+        Addr(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_round_trip() {
+        let a = Addr::new(0x1234);
+        assert_eq!(a.align_down(0x1000), Addr::new(0x1000));
+        assert_eq!(a.align_up(0x1000), Addr::new(0x2000));
+        assert_eq!(Addr::new(0x2000).align_up(0x1000), Addr::new(0x2000));
+        assert_eq!(Addr::new(0x2000).align_down(0x1000), Addr::new(0x2000));
+    }
+
+    #[test]
+    fn offset_and_aligned() {
+        let a = Addr::new(0x8042);
+        assert_eq!(a.offset_in(0x8000), 0x42);
+        assert!(!a.is_aligned(64));
+        assert!(Addr::new(0x80c0).is_aligned(64));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Addr::new(100);
+        assert_eq!(a + 28, Addr::new(128));
+        assert_eq!(Addr::new(128) - a, 28);
+        assert_eq!(Addr::new(128) - 28u64, a);
+        assert_eq!(a.checked_sub(Addr::new(128)), None);
+        assert_eq!(Addr::new(128).checked_sub(a), Some(28));
+    }
+
+    #[test]
+    fn null_addr() {
+        assert!(NULL_ADDR.is_null());
+        assert!(!Addr::new(8).is_null());
+        assert_eq!(Addr::default(), NULL_ADDR);
+    }
+
+    #[test]
+    fn display_is_hex() {
+        assert_eq!(format!("{}", Addr::new(0xff)), "0xff");
+        assert_eq!(format!("{:?}", Addr::new(0xff)), "Addr(0xff)");
+    }
+}

@@ -1,0 +1,115 @@
+//! Shared memory-bus bandwidth and queueing model.
+//!
+//! The paper's central multicore observation is that "the system memory
+//! bandwidth tends to become a bottleneck in systems with multicore
+//! processors": per-core demand that is harmless at one core saturates the
+//! shared front-side bus at eight, inflating memory latency and erasing the
+//! region allocator's malloc/free savings.
+//!
+//! We model the bus as an open queueing station. Given the offered traffic
+//! (bytes per CPU cycle, aggregated over all contexts) and the bus capacity,
+//! utilization is `rho = offered / capacity` and the effective memory
+//! latency is
+//!
+//! ```text
+//! L(rho) = L0 * (1 + alpha * rho / (1 - rho))      (capped at max_factor)
+//! ```
+//!
+//! an M/D/1-flavoured delay curve: negligible below ~50% utilization,
+//! steep past ~80%. The runtime's fixed-point solver (in `webmm-runtime`)
+//! iterates offered traffic vs. latency until they agree.
+
+use serde::Serialize;
+
+/// Bus capacity and latency-curve parameters.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize)]
+pub struct BusConfig {
+    /// Sustainable bus bandwidth in bytes per CPU cycle (aggregated across
+    /// all cores that share the bus).
+    pub bytes_per_cycle: f64,
+    /// Uncontended memory access latency in cycles.
+    pub base_latency: f64,
+    /// Queueing-delay weight (`alpha` above).
+    pub queue_alpha: f64,
+    /// Upper bound on the latency multiplier, so the fixed point always
+    /// exists even past nominal saturation.
+    pub max_factor: f64,
+}
+
+impl BusConfig {
+    /// Latency multiplier for a given utilization `rho >= 0`.
+    ///
+    /// Values of `rho >= 1` (offered load beyond capacity) saturate at
+    /// `max_factor`.
+    pub fn latency_factor(&self, rho: f64) -> f64 {
+        debug_assert!(rho >= 0.0, "utilization must be non-negative");
+        if rho >= 1.0 {
+            return self.max_factor;
+        }
+        let f = 1.0 + self.queue_alpha * rho / (1.0 - rho);
+        f.min(self.max_factor)
+    }
+
+    /// Effective memory latency in cycles at utilization `rho`.
+    pub fn latency(&self, rho: f64) -> f64 {
+        self.base_latency * self.latency_factor(rho)
+    }
+
+    /// Utilization given offered traffic in bytes/cycle.
+    pub fn utilization(&self, offered_bytes_per_cycle: f64) -> f64 {
+        (offered_bytes_per_cycle / self.bytes_per_cycle).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bus() -> BusConfig {
+        BusConfig { bytes_per_cycle: 4.0, base_latency: 200.0, queue_alpha: 0.7, max_factor: 8.0 }
+    }
+
+    #[test]
+    fn idle_bus_has_base_latency() {
+        let b = bus();
+        assert!((b.latency(0.0) - 200.0).abs() < 1e-9);
+        assert!((b.latency_factor(0.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_is_monotone_in_utilization() {
+        let b = bus();
+        let mut prev = 0.0;
+        for i in 0..100 {
+            let rho = i as f64 / 100.0;
+            let l = b.latency(rho);
+            assert!(l >= prev, "latency must not decrease with utilization");
+            prev = l;
+        }
+    }
+
+    #[test]
+    fn saturation_caps_at_max_factor() {
+        let b = bus();
+        assert!((b.latency_factor(1.0) - 8.0).abs() < 1e-9);
+        assert!((b.latency_factor(5.0) - 8.0).abs() < 1e-9);
+        // Very close to 1.0 also caps.
+        assert!((b.latency_factor(0.9999) - 8.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn moderate_load_is_cheap() {
+        let b = bus();
+        // At 50% utilization the factor is 1 + 0.7 = 1.7.
+        assert!((b.latency_factor(0.5) - 1.7).abs() < 1e-9);
+        // At 25% it's mild.
+        assert!(b.latency_factor(0.25) < 1.25);
+    }
+
+    #[test]
+    fn utilization_scales_with_offered_traffic() {
+        let b = bus();
+        assert!((b.utilization(2.0) - 0.5).abs() < 1e-9);
+        assert!((b.utilization(8.0) - 2.0).abs() < 1e-9);
+    }
+}

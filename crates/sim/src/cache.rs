@@ -1,0 +1,427 @@
+//! Set-associative cache model with true-LRU replacement.
+//!
+//! One [`Cache`] instance models a single cache array (an L1I, an L1D, or a
+//! shared L2). The memory hierarchy composes instances and handles
+//! write-allocate / write-back policy between levels; the cache itself only
+//! answers "hit or miss, and what did filling this line evict".
+//!
+//! Shared L2s additionally support *index hashing* (folding upper address
+//! bits into the set index), like the complex addressing of real last-level
+//! caches. Without it, allocators that hand out strongly aligned blocks —
+//! DDmalloc's segments are 32 KB-aligned by construction — would conflict
+//! on a handful of sets, an artifact real hardware avoids.
+
+use crate::addr::Addr;
+use serde::Serialize;
+
+/// Geometry of one cache array.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Line size in bytes (power of two).
+    pub line_bytes: u64,
+    /// Associativity (ways per set).
+    pub assoc: u32,
+    /// Fold upper address bits into the set index (last-level-cache
+    /// complex addressing).
+    pub hashed_index: bool,
+}
+
+impl CacheConfig {
+    /// Creates a config with plain (modulo) set indexing.
+    ///
+    /// The total size need not be a power of two (the paper's Niagara L2 is
+    /// 3 MB, 12-way), but the resulting *set count* must be, so addresses
+    /// index sets with a mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_bytes` is not a power of two, if `assoc` is zero, or
+    /// if `size_bytes / line_bytes / assoc` is not a power of two.
+    pub fn new(size_bytes: u64, line_bytes: u64, assoc: u32) -> Self {
+        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(assoc > 0, "associativity must be nonzero");
+        let lines = size_bytes / line_bytes;
+        assert!(
+            lines % u64::from(assoc) == 0 && size_bytes % line_bytes == 0,
+            "capacity must divide into whole sets"
+        );
+        let sets = lines / u64::from(assoc);
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        CacheConfig { size_bytes, line_bytes, assoc, hashed_index: false }
+    }
+
+    /// Creates a config with hashed set indexing (for shared L2s).
+    pub fn new_hashed(size_bytes: u64, line_bytes: u64, assoc: u32) -> Self {
+        let mut c = Self::new(size_bytes, line_bytes, assoc);
+        c.hashed_index = true;
+        c
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        self.size_bytes / self.line_bytes / u64::from(self.assoc)
+    }
+}
+
+/// Result of a cache access.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct AccessResult {
+    /// Whether the access hit.
+    pub hit: bool,
+    /// If the access was a miss and filling the line evicted a dirty line,
+    /// the base address of that victim line (for writeback accounting).
+    pub evicted_dirty: Option<Addr>,
+    /// Whether the hit line had been installed by a prefetch and this is the
+    /// first demand touch of it.
+    pub prefetch_covered: bool,
+}
+
+#[derive(Copy, Clone, Debug, Default)]
+struct Line {
+    /// Full line address (line-granular, i.e. byte address >> line bits).
+    line_addr: u64,
+    valid: bool,
+    dirty: bool,
+    /// Set by a prefetch fill, cleared on first demand hit.
+    prefetched: bool,
+    /// LRU timestamp; larger = more recently used.
+    lru: u64,
+}
+
+/// A set-associative, write-back, true-LRU cache array.
+///
+/// # Examples
+///
+/// ```
+/// use webmm_sim::{Addr, Cache, CacheConfig};
+/// let mut c = Cache::new(CacheConfig::new(4096, 64, 2));
+/// assert!(!c.access(Addr::new(0), false).hit);   // cold miss
+/// assert!(c.access(Addr::new(8), false).hit);    // same line
+/// ```
+#[derive(Clone, Debug)]
+pub struct Cache {
+    config: CacheConfig,
+    lines: Vec<Line>,
+    set_mask: u64,
+    set_bits: u32,
+    line_shift: u32,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Creates an empty (all-invalid) cache.
+    pub fn new(config: CacheConfig) -> Self {
+        let sets = config.sets();
+        Cache {
+            config,
+            lines: vec![Line::default(); (sets * u64::from(config.assoc)) as usize],
+            set_mask: sets - 1,
+            set_bits: sets.trailing_zeros(),
+            line_shift: config.line_bytes.trailing_zeros(),
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Lifetime hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lifetime miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// (base way index of the set, line address) for a byte address.
+    #[inline]
+    fn locate(&self, addr: Addr) -> (usize, u64) {
+        let line_addr = addr.raw() >> self.line_shift;
+        let set = if self.config.hashed_index && self.set_bits > 0 {
+            // Multiplicative (Fibonacci) hash of the full line address,
+            // like LLC complex addressing: strongly aligned streams and
+            // identically laid-out processes spread over all sets.
+            (line_addr.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> (64 - self.set_bits))
+                & self.set_mask
+        } else {
+            line_addr & self.set_mask
+        };
+        ((set * u64::from(self.config.assoc)) as usize, line_addr)
+    }
+
+    /// Performs a demand access (load, store, or instruction fetch) to the
+    /// line containing `addr`. On a miss the line is filled (write-allocate)
+    /// and the LRU victim replaced.
+    pub fn access(&mut self, addr: Addr, write: bool) -> AccessResult {
+        self.clock += 1;
+        let (base, line_addr) = self.locate(addr);
+        let ways = self.config.assoc as usize;
+
+        // Hit path.
+        for way in base..base + ways {
+            let line = &mut self.lines[way];
+            if line.valid && line.line_addr == line_addr {
+                line.lru = self.clock;
+                line.dirty |= write;
+                let covered = line.prefetched;
+                line.prefetched = false;
+                self.hits += 1;
+                return AccessResult { hit: true, evicted_dirty: None, prefetch_covered: covered };
+            }
+        }
+
+        // Miss: fill over the LRU victim.
+        self.misses += 1;
+        let victim = self.lru_victim(base, ways);
+        let evicted_dirty = self.fill(victim, line_addr, write, false);
+        AccessResult { hit: false, evicted_dirty, prefetch_covered: false }
+    }
+
+    /// Installs the line containing `addr` as a *prefetch* fill.
+    ///
+    /// Returns the dirty victim line if one was evicted, and `true` if the
+    /// line was newly installed (i.e. it was not already present).
+    pub fn prefetch_fill(&mut self, addr: Addr) -> (Option<Addr>, bool) {
+        self.clock += 1;
+        let (base, line_addr) = self.locate(addr);
+        let ways = self.config.assoc as usize;
+        for way in base..base + ways {
+            let line = &self.lines[way];
+            if line.valid && line.line_addr == line_addr {
+                return (None, false); // already resident; nothing to do
+            }
+        }
+        let victim = self.lru_victim(base, ways);
+        let evicted = self.fill(victim, line_addr, false, true);
+        (evicted, true)
+    }
+
+    /// Returns `true` if the line containing `addr` is resident.
+    pub fn contains(&self, addr: Addr) -> bool {
+        let (base, line_addr) = self.locate(addr);
+        let ways = self.config.assoc as usize;
+        self.lines[base..base + ways]
+            .iter()
+            .any(|l| l.valid && l.line_addr == line_addr)
+    }
+
+    /// Marks the line containing `addr` dirty if resident (used when a lower
+    /// level writes back into this cache). Returns whether it was resident.
+    pub fn mark_dirty(&mut self, addr: Addr) -> bool {
+        let (base, line_addr) = self.locate(addr);
+        let ways = self.config.assoc as usize;
+        for way in base..base + ways {
+            let line = &mut self.lines[way];
+            if line.valid && line.line_addr == line_addr {
+                line.dirty = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Invalidates all lines (e.g. on process restart).
+    pub fn flush(&mut self) {
+        for line in &mut self.lines {
+            *line = Line::default();
+        }
+    }
+
+    fn lru_victim(&self, base: usize, ways: usize) -> usize {
+        // Prefer an invalid way; otherwise the smallest LRU stamp.
+        let mut victim = base;
+        let mut best = u64::MAX;
+        for way in base..base + ways {
+            let line = &self.lines[way];
+            if !line.valid {
+                return way;
+            }
+            if line.lru < best {
+                best = line.lru;
+                victim = way;
+            }
+        }
+        victim
+    }
+
+    fn fill(&mut self, way: usize, line_addr: u64, write: bool, prefetched: bool) -> Option<Addr> {
+        let line = &mut self.lines[way];
+        let evicted = if line.valid && line.dirty {
+            Some(Addr::new(line.line_addr << self.line_shift))
+        } else {
+            None
+        };
+        *line = Line { line_addr, valid: true, dirty: write, prefetched, lru: self.clock };
+        evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 sets x 2 ways x 64B lines = 512 B.
+        Cache::new(CacheConfig::new(512, 64, 2))
+    }
+
+    #[test]
+    fn config_sets() {
+        let c = CacheConfig::new(32 * 1024, 64, 8);
+        assert_eq!(c.sets(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole sets")]
+    fn config_rejects_ragged_geometry() {
+        CacheConfig::new(3000, 64, 2);
+    }
+
+    #[test]
+    fn config_allows_non_pow2_total_size() {
+        // Niagara's 3 MB 12-way L2: 4096 sets, a power of two.
+        let c = CacheConfig::new(3 * 1024 * 1024, 64, 12);
+        assert_eq!(c.sets(), 4096);
+    }
+
+    #[test]
+    fn hit_after_fill() {
+        let mut c = tiny();
+        assert!(!c.access(Addr::new(0x100), false).hit);
+        assert!(c.access(Addr::new(0x13f), false).hit); // same 64B line
+        assert!(!c.access(Addr::new(0x140), false).hit); // next line
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 2);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = tiny();
+        // Set 0 lines: addresses with bits [7:6] == 0 → stride 256.
+        let a = Addr::new(0);
+        let b = Addr::new(256);
+        let d = Addr::new(512);
+        c.access(a, false);
+        c.access(b, false);
+        c.access(a, false); // a is now MRU
+        c.access(d, false); // evicts b (LRU)
+        assert!(c.contains(a));
+        assert!(!c.contains(b));
+        assert!(c.contains(d));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_victim() {
+        let mut c = tiny();
+        c.access(Addr::new(0), true); // dirty
+        c.access(Addr::new(256), false);
+        let r = c.access(Addr::new(512), false); // evicts line 0 (dirty)
+        assert_eq!(r.evicted_dirty, Some(Addr::new(0)));
+    }
+
+    #[test]
+    fn clean_eviction_reports_none() {
+        let mut c = tiny();
+        c.access(Addr::new(0), false);
+        c.access(Addr::new(256), false);
+        let r = c.access(Addr::new(512), false);
+        assert_eq!(r.evicted_dirty, None);
+    }
+
+    #[test]
+    fn prefetch_then_demand_is_covered() {
+        let mut c = tiny();
+        let (evicted, installed) = c.prefetch_fill(Addr::new(0x40));
+        assert!(installed);
+        assert_eq!(evicted, None);
+        let r = c.access(Addr::new(0x40), false);
+        assert!(r.hit);
+        assert!(r.prefetch_covered);
+        // Second demand hit is no longer "covered".
+        let r2 = c.access(Addr::new(0x40), false);
+        assert!(!r2.prefetch_covered);
+    }
+
+    #[test]
+    fn prefetch_of_resident_line_is_noop() {
+        let mut c = tiny();
+        c.access(Addr::new(0x40), true);
+        let (evicted, installed) = c.prefetch_fill(Addr::new(0x40));
+        assert!(!installed);
+        assert_eq!(evicted, None);
+        assert!(c.contains(Addr::new(0x40)));
+    }
+
+    #[test]
+    fn flush_empties_cache() {
+        let mut c = tiny();
+        c.access(Addr::new(0), true);
+        c.flush();
+        assert!(!c.contains(Addr::new(0)));
+        assert!(!c.access(Addr::new(0), false).hit);
+    }
+
+    #[test]
+    fn victim_address_reconstruction() {
+        // Fill a specific set, then verify the evicted dirty address is the
+        // original one.
+        let mut c = Cache::new(CacheConfig::new(1024, 64, 1)); // 16 sets, direct-mapped
+        let a = Addr::new(64 * 5); // set 5
+        c.access(a, true);
+        let conflicting = Addr::new(64 * 5 + 1024); // same set, different tag
+        let r = c.access(conflicting, false);
+        assert_eq!(r.evicted_dirty, Some(a));
+    }
+
+    #[test]
+    fn mark_dirty_only_if_resident() {
+        let mut c = tiny();
+        assert!(!c.mark_dirty(Addr::new(0x40)));
+        c.access(Addr::new(0x40), false);
+        assert!(c.mark_dirty(Addr::new(0x40)));
+        // Now eviction of that line should report it dirty.
+        c.access(Addr::new(0x40 + 256), false);
+        let r = c.access(Addr::new(0x40 + 512), false);
+        assert_eq!(r.evicted_dirty, Some(Addr::new(0x40)));
+    }
+
+    #[test]
+    fn hashed_index_spreads_aligned_addresses() {
+        // 32 lines, each the first line of a 32 KB-aligned block — the
+        // DDmalloc segment pattern. Plain indexing piles them into one set
+        // (2 survive in a 2-way set); hashed indexing spreads them out.
+        let run = |config: CacheConfig| {
+            let mut c = Cache::new(config);
+            for k in 0..32u64 {
+                c.access(Addr::new(k * 32 * 1024), false);
+            }
+            (0..32u64)
+                .filter(|&k| c.contains(Addr::new(k * 32 * 1024)))
+                .count()
+        };
+        // 8 KB cache: 64 sets hashed vs plain, 2-way.
+        let plain = run(CacheConfig::new(8192, 64, 2));
+        let hashed = run(CacheConfig::new_hashed(8192, 64, 2));
+        assert!(plain <= 4, "plain indexing aliases ({plain} resident)");
+        assert!(hashed >= 16, "hashed indexing spreads ({hashed} resident)");
+    }
+
+    #[test]
+    fn hashed_index_is_consistent() {
+        // Same address must hit itself and reconstruct its victim address.
+        let mut c = Cache::new(CacheConfig::new_hashed(4096, 64, 2));
+        c.access(Addr::new(0x12340), true);
+        assert!(c.access(Addr::new(0x12340), false).hit);
+        assert!(c.contains(Addr::new(0x12340)));
+    }
+}

@@ -1,0 +1,381 @@
+//! Machine models: the two platforms of the paper plus a builder for
+//! custom configurations.
+//!
+//! The paper evaluates on
+//!
+//! * **Xeon (Clovertown)** — two quad-core Intel Xeon E5320 at 1.86 GHz:
+//!   fast out-of-order cores, large caches (32 KB L1s; one 4 MB L2 shared
+//!   per core pair), a hardware stream prefetcher, and a front-side bus
+//!   whose bandwidth is modest relative to the cores' appetite; and
+//! * **Niagara (UltraSPARC T1)** — eight in-order cores at 1.2 GHz with
+//!   4-way fine-grained multithreading, small caches (16 KB L1I / 8 KB L1D
+//!   per core; one 3 MB L2 shared by all cores), no hardware prefetcher,
+//!   software TLB handling, and comparatively generous memory bandwidth.
+//!
+//! These asymmetries are exactly what drives the paper's results — the
+//! region allocator dies on Xeon's thin, prefetcher-amplified bus and
+//! merely stumbles on Niagara — so the presets encode them explicitly.
+
+use crate::bus::BusConfig;
+use crate::cache::CacheConfig;
+use crate::counters::EventCounts;
+use crate::prefetch::PrefetchConfig;
+use crate::tlb::TlbConfig;
+use serde::Serialize;
+
+/// Parameters converting event counts into cycles.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize)]
+pub struct CostParams {
+    /// Base cycles per instruction with all caches hitting.
+    pub cpi_base: f64,
+    /// L1-miss/L2-hit latency in cycles.
+    pub l2_hit_latency: f64,
+    /// D-TLB miss penalty in cycles (hardware walk on Xeon, software trap
+    /// on Niagara).
+    pub tlb_miss_penalty: f64,
+    /// Fraction of memory-stall cycles hidden by out-of-order execution
+    /// and memory-level parallelism (0 = fully exposed).
+    pub ooo_overlap: f64,
+    /// How strongly prefetch-covered misses degrade back toward full
+    /// memory latency under bus contention (0 = never degrade, 1 = a
+    /// covered miss costs the full contended latency once the bus
+    /// saturates).
+    pub prefetch_degrade: f64,
+}
+
+/// Cycle cost of a slice of execution, split by source.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Serialize)]
+pub struct Cycles {
+    /// Instruction execution (CPI × instructions).
+    pub compute: f64,
+    /// L1-miss/L2-hit stalls.
+    pub l2_hit_stall: f64,
+    /// L2-miss memory stalls (includes the contention multiplier).
+    pub memory_stall: f64,
+    /// D-TLB handling.
+    pub tlb_stall: f64,
+}
+
+impl Cycles {
+    /// Total cycles.
+    pub fn total(&self) -> f64 {
+        self.compute + self.l2_hit_stall + self.memory_stall + self.tlb_stall
+    }
+}
+
+impl std::ops::Add for Cycles {
+    type Output = Cycles;
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles {
+            compute: self.compute + rhs.compute,
+            l2_hit_stall: self.l2_hit_stall + rhs.l2_hit_stall,
+            memory_stall: self.memory_stall + rhs.memory_stall,
+            tlb_stall: self.tlb_stall + rhs.tlb_stall,
+        }
+    }
+}
+
+/// Complete description of a simulated machine.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct MachineConfig {
+    /// Human-readable name ("Xeon (Clovertown)", ...).
+    pub name: String,
+    /// Core clock in GHz (used only to convert cycles/tx to tx/sec).
+    pub freq_ghz: f64,
+    /// Number of cores.
+    pub cores: u32,
+    /// Hardware threads per core (1 on Xeon, 4 on Niagara).
+    pub threads_per_core: u32,
+    /// Per-core L1 instruction cache.
+    pub l1i: CacheConfig,
+    /// Per-core L1 data cache (shared by the core's hardware threads).
+    pub l1d: CacheConfig,
+    /// L2 cache geometry (one instance per sharing group).
+    pub l2: CacheConfig,
+    /// How many cores share one L2 instance (2 on Clovertown, 8 on T1).
+    pub cores_per_l2: u32,
+    /// Data-TLB geometry (per core).
+    pub dtlb: TlbConfig,
+    /// Stream prefetcher, if the machine has one.
+    pub prefetch: Option<PrefetchConfig>,
+    /// Shared memory bus.
+    pub bus: BusConfig,
+    /// Event→cycle cost parameters.
+    pub cost: CostParams,
+    /// Whether the OS hands out large pages without application changes
+    /// (Solaris on Niagara: yes; RHEL 5 on Xeon: no — the paper disables
+    /// the large-page optimization there for fairness).
+    pub os_large_pages: bool,
+}
+
+impl MachineConfig {
+    /// The paper's Xeon platform: 2 × quad-core E5320 "Clovertown",
+    /// 1.86 GHz, 8 GB RAM, Linux, no large pages in the default runs.
+    pub fn xeon_clovertown() -> Self {
+        MachineConfig {
+            name: "Xeon (Clovertown)".to_string(),
+            freq_ghz: 1.86,
+            cores: 8,
+            threads_per_core: 1,
+            l1i: CacheConfig::new(32 * 1024, 64, 8),
+            l1d: CacheConfig::new(32 * 1024, 64, 8),
+            l2: CacheConfig::new_hashed(4 * 1024 * 1024, 64, 16),
+            cores_per_l2: 2,
+            dtlb: TlbConfig { base_entries: 256, large_entries: 32 },
+            prefetch: Some(PrefetchConfig { streams: 16, degree: 2, line_bytes: 64 }),
+            bus: BusConfig {
+                bytes_per_cycle: 4.0,
+                base_latency: 200.0,
+                queue_alpha: 0.8,
+                max_factor: 8.0,
+            },
+            cost: CostParams {
+                cpi_base: 0.75,
+                l2_hit_latency: 14.0,
+                tlb_miss_penalty: 30.0,
+                ooo_overlap: 0.35,
+                prefetch_degrade: 0.6,
+            },
+            os_large_pages: false,
+        }
+    }
+
+    /// The paper's Niagara platform: one 8-core UltraSPARC T1 at 1.2 GHz,
+    /// 4 hardware threads per core, 16 GB RAM, Solaris 10, 4 MB pages for
+    /// the heap.
+    pub fn niagara_t1() -> Self {
+        MachineConfig {
+            name: "Niagara (UltraSPARC T1)".to_string(),
+            freq_ghz: 1.2,
+            cores: 8,
+            threads_per_core: 4,
+            l1i: CacheConfig::new(16 * 1024, 64, 4),
+            l1d: CacheConfig::new(8 * 1024, 64, 4),
+            l2: CacheConfig::new_hashed(3 * 1024 * 1024, 64, 12),
+            cores_per_l2: 8,
+            dtlb: TlbConfig { base_entries: 64, large_entries: 64 },
+            prefetch: None,
+            bus: BusConfig {
+                bytes_per_cycle: 12.0,
+                base_latency: 120.0,
+                queue_alpha: 0.8,
+                max_factor: 8.0,
+            },
+            cost: CostParams {
+                cpi_base: 1.25,
+                l2_hit_latency: 22.0,
+                tlb_miss_penalty: 150.0,
+                ooo_overlap: 0.0,
+                prefetch_degrade: 0.6,
+            },
+            os_large_pages: true,
+        }
+    }
+
+    /// Total hardware contexts (cores × threads per core).
+    pub fn contexts(&self) -> u32 {
+        self.cores * self.threads_per_core
+    }
+
+    /// Number of distinct L2 instances.
+    pub fn l2_instances(&self) -> u32 {
+        self.cores.div_ceil(self.cores_per_l2)
+    }
+
+    /// Converts a slice of counted events to cycles, given the current bus
+    /// latency multiplier `mem_latency_factor` (≥ 1, from
+    /// [`BusConfig::latency_factor`]).
+    pub fn cycles(&self, ev: &EventCounts, mem_latency_factor: f64) -> Cycles {
+        let c = &self.cost;
+        let exposed = 1.0 - c.ooo_overlap;
+        let mem_latency = self.bus.base_latency * mem_latency_factor;
+
+        // Prefetch-covered accesses are L2 hits at low utilization but give
+        // back part of the saved latency once the bus is contended (the
+        // prefetcher can no longer run far enough ahead).
+        let covered_extra = c.prefetch_degrade
+            * (mem_latency_factor - 1.0).max(0.0)
+            * self.bus.base_latency
+            * ev.prefetch_covered as f64;
+
+        Cycles {
+            compute: ev.instructions as f64 * c.cpi_base,
+            l2_hit_stall: ev.l2_hits as f64 * c.l2_hit_latency * exposed,
+            memory_stall: (ev.l2_misses as f64 * mem_latency + covered_extra) * exposed,
+            tlb_stall: ev.dtlb_misses as f64 * c.tlb_miss_penalty,
+        }
+    }
+
+    /// Returns a copy with the prefetcher removed (the paper's
+    /// "disabling the prefetcher" experiment).
+    pub fn without_prefetcher(mut self) -> Self {
+        self.prefetch = None;
+        self
+    }
+
+    /// Returns a builder pre-seeded from this config, for custom machines.
+    pub fn to_builder(&self) -> MachineBuilder {
+        MachineBuilder { config: self.clone() }
+    }
+}
+
+/// Builder for custom [`MachineConfig`]s.
+///
+/// # Examples
+///
+/// ```
+/// use webmm_sim::MachineConfig;
+/// let big = MachineConfig::xeon_clovertown()
+///     .to_builder()
+///     .name("16-core Xeon-like")
+///     .cores(16)
+///     .bus_bytes_per_cycle(8.0)
+///     .build();
+/// assert_eq!(big.contexts(), 16);
+/// ```
+#[derive(Clone, Debug)]
+pub struct MachineBuilder {
+    config: MachineConfig,
+}
+
+impl MachineBuilder {
+    /// Sets the display name.
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.config.name = name.into();
+        self
+    }
+
+    /// Sets the core count.
+    pub fn cores(mut self, cores: u32) -> Self {
+        self.config.cores = cores;
+        self
+    }
+
+    /// Sets hardware threads per core.
+    pub fn threads_per_core(mut self, t: u32) -> Self {
+        self.config.threads_per_core = t;
+        self
+    }
+
+    /// Sets the L2 geometry.
+    pub fn l2(mut self, l2: CacheConfig) -> Self {
+        self.config.l2 = l2;
+        self
+    }
+
+    /// Sets how many cores share one L2.
+    pub fn cores_per_l2(mut self, n: u32) -> Self {
+        self.config.cores_per_l2 = n;
+        self
+    }
+
+    /// Sets the bus bandwidth in bytes per cycle.
+    pub fn bus_bytes_per_cycle(mut self, b: f64) -> Self {
+        self.config.bus.bytes_per_cycle = b;
+        self
+    }
+
+    /// Enables or disables the stream prefetcher.
+    pub fn prefetch(mut self, p: Option<PrefetchConfig>) -> Self {
+        self.config.prefetch = p;
+        self
+    }
+
+    /// Sets the D-TLB geometry.
+    pub fn dtlb(mut self, t: TlbConfig) -> Self {
+        self.config.dtlb = t;
+        self
+    }
+
+    /// Finishes the build.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero or not covered by whole L2 sharing groups.
+    pub fn build(self) -> MachineConfig {
+        assert!(self.config.cores > 0, "machine must have at least one core");
+        assert!(self.config.threads_per_core > 0, "need at least one thread per core");
+        assert!(self.config.cores_per_l2 > 0, "cores_per_l2 must be nonzero");
+        self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_hardware() {
+        let x = MachineConfig::xeon_clovertown();
+        assert_eq!(x.cores, 8);
+        assert_eq!(x.threads_per_core, 1);
+        assert_eq!(x.contexts(), 8);
+        assert_eq!(x.l2_instances(), 4); // 4 MB per core pair
+        assert!(x.prefetch.is_some());
+
+        let n = MachineConfig::niagara_t1();
+        assert_eq!(n.contexts(), 32); // 8 cores x 4 threads
+        assert_eq!(n.l2_instances(), 1); // one 3 MB L2
+        assert!(n.prefetch.is_none());
+        // Niagara has more bandwidth headroom per unit of compute.
+        let x_ratio = x.bus.bytes_per_cycle / (1.0 / x.cost.cpi_base);
+        let n_ratio = n.bus.bytes_per_cycle / (1.0 / n.cost.cpi_base);
+        assert!(n_ratio > 2.0 * x_ratio);
+    }
+
+    #[test]
+    fn cycles_scale_with_latency_factor() {
+        let x = MachineConfig::xeon_clovertown();
+        let ev = EventCounts { instructions: 1000, l2_misses: 10, ..Default::default() };
+        let idle = x.cycles(&ev, 1.0);
+        let busy = x.cycles(&ev, 4.0);
+        assert!(busy.memory_stall > 3.9 * idle.memory_stall);
+        assert!((busy.compute - idle.compute).abs() < 1e-9);
+    }
+
+    #[test]
+    fn covered_prefetches_cost_little_when_idle() {
+        let x = MachineConfig::xeon_clovertown();
+        let ev = EventCounts { l2_hits: 5, prefetch_covered: 5, ..Default::default() };
+        let idle = x.cycles(&ev, 1.0);
+        // At factor 1.0 a covered miss costs only the L2 hit latency.
+        assert!((idle.memory_stall - 0.0).abs() < 1e-9);
+        let busy = x.cycles(&ev, 3.0);
+        assert!(busy.memory_stall > 0.0, "contention degrades prefetch coverage");
+    }
+
+    #[test]
+    fn builder_roundtrip() {
+        let m = MachineConfig::niagara_t1()
+            .to_builder()
+            .name("fat-niagara")
+            .cores(16)
+            .cores_per_l2(16)
+            .build();
+        assert_eq!(m.name, "fat-niagara");
+        assert_eq!(m.l2_instances(), 1);
+        assert_eq!(m.contexts(), 64);
+    }
+
+    #[test]
+    fn without_prefetcher() {
+        let m = MachineConfig::xeon_clovertown().without_prefetcher();
+        assert!(m.prefetch.is_none());
+    }
+
+    #[test]
+    fn cycles_total_is_sum() {
+        let x = MachineConfig::xeon_clovertown();
+        let ev = EventCounts {
+            instructions: 100,
+            l2_hits: 3,
+            l2_misses: 2,
+            dtlb_misses: 1,
+            ..Default::default()
+        };
+        let c = x.cycles(&ev, 1.0);
+        let expected = c.compute + c.l2_hit_stall + c.memory_stall + c.tlb_stall;
+        assert!((c.total() - expected).abs() < 1e-9);
+        assert!(c.total() > 0.0);
+    }
+}

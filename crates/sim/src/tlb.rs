@@ -1,0 +1,209 @@
+//! Data-TLB model with support for base (4 KB) and large (4 MB) pages.
+//!
+//! The paper's DDmalloc "uses large page memory for the heap to reduce the
+//! overhead of TLB handling", an optimization enabled on Niagara (Solaris)
+//! and studied as an ablation on Xeon. We model a split TLB — a set of
+//! entries for base pages and a (typically smaller) set for large pages —
+//! with full associativity and LRU replacement, which is accurate enough to
+//! reproduce the >60% D-TLB miss reduction the paper reports.
+
+use crate::addr::Addr;
+use serde::Serialize;
+
+/// Base page size (4 KB), the granularity of ordinary mappings.
+pub const BASE_PAGE: u64 = 4 * 1024;
+/// Large page size (4 MB), used by the large-page heap optimization.
+pub const LARGE_PAGE: u64 = 4 * 1024 * 1024;
+
+/// Which page size a mapping uses.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize)]
+pub enum PageSize {
+    /// 4 KB pages.
+    Base,
+    /// 4 MB pages.
+    Large,
+}
+
+impl PageSize {
+    /// Page size in bytes.
+    pub fn bytes(self) -> u64 {
+        match self {
+            PageSize::Base => BASE_PAGE,
+            PageSize::Large => LARGE_PAGE,
+        }
+    }
+}
+
+/// TLB geometry.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize)]
+pub struct TlbConfig {
+    /// Entries available for 4 KB pages.
+    pub base_entries: u32,
+    /// Entries available for 4 MB pages.
+    pub large_entries: u32,
+}
+
+/// A split, fully-associative, LRU data-TLB.
+///
+/// # Examples
+///
+/// ```
+/// use webmm_sim::{Addr, PageSize, Tlb, TlbConfig};
+/// let mut tlb = Tlb::new(TlbConfig { base_entries: 2, large_entries: 1 });
+/// assert!(!tlb.access(Addr::new(0x1000), PageSize::Base)); // cold miss
+/// assert!(tlb.access(Addr::new(0x1fff), PageSize::Base));  // same page
+/// ```
+#[derive(Clone, Debug)]
+pub struct Tlb {
+    config: TlbConfig,
+    base: LruArray,
+    large: LruArray,
+    misses: u64,
+    hits: u64,
+}
+
+#[derive(Clone, Debug)]
+struct LruArray {
+    /// (virtual page number, lru stamp)
+    entries: Vec<(u64, u64)>,
+    capacity: usize,
+    clock: u64,
+}
+
+impl LruArray {
+    fn new(capacity: usize) -> Self {
+        LruArray { entries: Vec::with_capacity(capacity), capacity, clock: 0 }
+    }
+
+    /// Returns true on hit; installs the entry on miss.
+    fn access(&mut self, vpn: u64) -> bool {
+        self.clock += 1;
+        if let Some(e) = self.entries.iter_mut().find(|e| e.0 == vpn) {
+            e.1 = self.clock;
+            return true;
+        }
+        if self.capacity == 0 {
+            return false; // no entries of this kind: every access misses
+        }
+        if self.entries.len() < self.capacity {
+            self.entries.push((vpn, self.clock));
+        } else if let Some(victim) = self.entries.iter_mut().min_by_key(|e| e.1) {
+            *victim = (vpn, self.clock);
+        }
+        false
+    }
+
+    fn flush(&mut self) {
+        self.entries.clear();
+    }
+}
+
+impl Tlb {
+    /// Creates an empty TLB.
+    pub fn new(config: TlbConfig) -> Self {
+        Tlb {
+            config,
+            base: LruArray::new(config.base_entries as usize),
+            large: LruArray::new(config.large_entries as usize),
+            misses: 0,
+            hits: 0,
+        }
+    }
+
+    /// The TLB geometry.
+    pub fn config(&self) -> TlbConfig {
+        self.config
+    }
+
+    /// Translates a data access to `addr` on a page of size `page`.
+    /// Returns `true` on a TLB hit; on a miss the translation is installed.
+    pub fn access(&mut self, addr: Addr, page: PageSize) -> bool {
+        let hit = match page {
+            PageSize::Base => self.base.access(addr.raw() / BASE_PAGE),
+            PageSize::Large => self.large.access(addr.raw() / LARGE_PAGE),
+        };
+        if hit {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+        hit
+    }
+
+    /// Lifetime miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Lifetime hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Drops all translations (e.g. process restart / context switch).
+    pub fn flush(&mut self) {
+        self.base.flush();
+        self.large.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_sizes() {
+        assert_eq!(PageSize::Base.bytes(), 4096);
+        assert_eq!(PageSize::Large.bytes(), 4 << 20);
+    }
+
+    #[test]
+    fn base_hit_within_page_miss_across() {
+        let mut t = Tlb::new(TlbConfig { base_entries: 4, large_entries: 0 });
+        assert!(!t.access(Addr::new(0), PageSize::Base));
+        assert!(t.access(Addr::new(4095), PageSize::Base));
+        assert!(!t.access(Addr::new(4096), PageSize::Base));
+        assert_eq!(t.misses(), 2);
+        assert_eq!(t.hits(), 1);
+    }
+
+    #[test]
+    fn lru_replacement() {
+        let mut t = Tlb::new(TlbConfig { base_entries: 2, large_entries: 0 });
+        t.access(Addr::new(0x0000), PageSize::Base); // page 0
+        t.access(Addr::new(0x1000), PageSize::Base); // page 1
+        t.access(Addr::new(0x0000), PageSize::Base); // page 0 → MRU
+        t.access(Addr::new(0x2000), PageSize::Base); // evicts page 1
+        assert!(t.access(Addr::new(0x0000), PageSize::Base)); // still resident
+        assert!(!t.access(Addr::new(0x1000), PageSize::Base)); // evicted
+    }
+
+    #[test]
+    fn large_pages_cover_more() {
+        let mut t = Tlb::new(TlbConfig { base_entries: 64, large_entries: 8 });
+        // 16 MB touched with large pages: 4 entries, all but first hit/page.
+        let mut misses = 0;
+        for i in 0..(16u64 << 20) / 4096 {
+            if !t.access(Addr::new(i * 4096), PageSize::Large) {
+                misses += 1;
+            }
+        }
+        assert_eq!(misses, 4); // 16 MB / 4 MB pages
+    }
+
+    #[test]
+    fn zero_capacity_always_misses() {
+        let mut t = Tlb::new(TlbConfig { base_entries: 0, large_entries: 0 });
+        assert!(!t.access(Addr::new(0), PageSize::Base));
+        assert!(!t.access(Addr::new(0), PageSize::Base));
+        assert_eq!(t.misses(), 2);
+    }
+
+    #[test]
+    fn flush_forgets_everything() {
+        let mut t = Tlb::new(TlbConfig { base_entries: 4, large_entries: 4 });
+        t.access(Addr::new(0), PageSize::Base);
+        t.flush();
+        assert!(!t.access(Addr::new(0), PageSize::Base));
+    }
+}

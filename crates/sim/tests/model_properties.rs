@@ -1,0 +1,145 @@
+//! Property-based tests of the cache and TLB models against reference
+//! implementations, plus invariants of the hierarchy's bookkeeping.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use webmm_sim::{Addr, Cache, CacheConfig, MachineConfig, MemHierarchy, PageSize, Tlb, TlbConfig};
+
+/// Reference model of a set-associative LRU cache (naive, obviously
+/// correct): per set, a vector ordered by recency.
+struct RefCache {
+    sets: Vec<Vec<u64>>, // line addresses, most recent last
+    assoc: usize,
+    line: u64,
+    mask: u64,
+}
+
+impl RefCache {
+    fn new(size: u64, line: u64, assoc: u32) -> Self {
+        let sets = (size / line / u64::from(assoc)) as usize;
+        RefCache {
+            sets: vec![Vec::new(); sets],
+            assoc: assoc as usize,
+            line,
+            mask: sets as u64 - 1,
+        }
+    }
+
+    fn access(&mut self, addr: u64) -> bool {
+        let la = addr / self.line;
+        let set = &mut self.sets[(la & self.mask) as usize];
+        if let Some(pos) = set.iter().position(|&x| x == la) {
+            set.remove(pos);
+            set.push(la);
+            true
+        } else {
+            if set.len() == self.assoc {
+                set.remove(0); // LRU
+            }
+            set.push(la);
+            false
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// The cache (plain indexing) agrees with the reference LRU model on
+    /// every access of arbitrary address streams.
+    #[test]
+    fn cache_matches_reference_lru(
+        addrs in proptest::collection::vec(0u64..1u64 << 16, 1..400),
+        writes in proptest::collection::vec(any::<bool>(), 400),
+    ) {
+        let mut dut = Cache::new(CacheConfig::new(2048, 64, 4));
+        let mut reference = RefCache::new(2048, 64, 4);
+        for (i, &a) in addrs.iter().enumerate() {
+            let hit = dut.access(Addr::new(a), writes[i % writes.len()]).hit;
+            let ref_hit = reference.access(a);
+            prop_assert_eq!(hit, ref_hit, "divergence at access {} (addr {:#x})", i, a);
+        }
+    }
+
+    /// Writebacks are conservative: a dirty eviction is only reported for a
+    /// line that was actually written, and the victim differs from the
+    /// incoming line.
+    #[test]
+    fn dirty_evictions_only_for_written_lines(
+        ops in proptest::collection::vec((0u64..1u64 << 14, any::<bool>()), 1..300),
+    ) {
+        let mut c = Cache::new(CacheConfig::new(1024, 64, 2));
+        let mut written: HashMap<u64, bool> = HashMap::new();
+        for &(a, w) in &ops {
+            let r = c.access(Addr::new(a), w);
+            let la = a / 64;
+            let e = written.entry(la).or_insert(false);
+            *e = *e || w;
+            if let Some(victim) = r.evicted_dirty {
+                let vla = victim.raw() / 64;
+                prop_assert_ne!(vla, la, "victim cannot be the incoming line");
+                prop_assert!(written.get(&vla).copied().unwrap_or(false),
+                    "dirty eviction of a never-written line {:#x}", victim.raw());
+                written.insert(vla, false); // written back: clean now
+            }
+        }
+    }
+
+    /// Hashed and plain indexing see exactly the same hits on streams that
+    /// fit entirely in the cache (indexing cannot matter without evictions).
+    #[test]
+    fn hashing_is_invisible_without_pressure(
+        addrs in proptest::collection::vec(0u64..(16u64 * 64), 1..200),
+    ) {
+        // 16 distinct lines at most; 64 lines of capacity.
+        let mut plain = Cache::new(CacheConfig::new(4096, 64, 64)); // fully assoc
+        let mut hashed = Cache::new(CacheConfig::new_hashed(4096, 64, 64));
+        for &a in &addrs {
+            let ph = plain.access(Addr::new(a), false).hit;
+            let hh = hashed.access(Addr::new(a), false).hit;
+            prop_assert_eq!(ph, hh);
+        }
+    }
+
+    /// TLB hit/miss agrees with a reference LRU over page numbers.
+    #[test]
+    fn tlb_matches_reference(pages in proptest::collection::vec(0u64..64, 1..300)) {
+        let mut dut = Tlb::new(TlbConfig { base_entries: 8, large_entries: 0 });
+        let mut reference: Vec<u64> = Vec::new();
+        for &p in &pages {
+            let hit = dut.access(Addr::new(p * 4096), PageSize::Base);
+            let ref_hit = if let Some(pos) = reference.iter().position(|&x| x == p) {
+                reference.remove(pos);
+                reference.push(p);
+                true
+            } else {
+                if reference.len() == 8 {
+                    reference.remove(0);
+                }
+                reference.push(p);
+                false
+            };
+            prop_assert_eq!(hit, ref_hit);
+        }
+    }
+
+    /// Hierarchy counter conservation: every data access is exactly one of
+    /// {L1 hit, L2 hit, L2 miss} — L1 misses equal L2 hits plus L2 misses
+    /// when only data flows through (no ifetch, no prefetcher).
+    #[test]
+    fn hierarchy_counters_conserve(
+        ops in proptest::collection::vec((0u64..1u64 << 18, any::<bool>()), 1..500),
+    ) {
+        let machine = MachineConfig::niagara_t1(); // no prefetcher
+        let mut h = MemHierarchy::new(&machine);
+        for &(a, w) in &ops {
+            let kind = if w { webmm_sim::AccessKind::Store } else { webmm_sim::AccessKind::Load };
+            h.access(0, Addr::new(a), kind, PageSize::Base, webmm_sim::Category::Application);
+        }
+        let ev = h.counters(0).total();
+        prop_assert_eq!(ev.loads + ev.stores, ops.len() as u64);
+        prop_assert_eq!(ev.l1d_misses, ev.l2_hits + ev.l2_misses);
+        prop_assert_eq!(ev.bus_txns, ev.l2_misses + ev.writebacks);
+        prop_assert_eq!(ev.bus_bytes, ev.bus_txns * 64);
+    }
+}

@@ -1,0 +1,263 @@
+//! Workload specifications: the paper's Table 3, as data.
+//!
+//! Table 3 reports, per Web transaction, the average numbers of `malloc`
+//! (including `calloc`), per-object `free`, and `realloc` calls, and the
+//! average allocation size. Those four numbers — plus a per-workload
+//! application-compute weight — fully parameterize our synthetic
+//! transaction streams: the allocator under study only ever sees the
+//! malloc/free/realloc/touch sequence, so reproducing the sequence
+//! statistics reproduces the allocator-visible behaviour of each PHP
+//! application without porting PHP.
+
+use serde::Serialize;
+
+/// Statistical description of one workload's transactions.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct WorkloadSpec {
+    /// Display name, matching the paper's tables.
+    pub name: &'static str,
+    /// Average `malloc` (+`calloc`) calls per transaction (Table 3).
+    pub mallocs_per_tx: u64,
+    /// Average per-object `free` calls per transaction (Table 3).
+    pub frees_per_tx: u64,
+    /// Average `realloc` calls per transaction (Table 3).
+    pub reallocs_per_tx: u64,
+    /// Average allocation size in bytes (Table 3).
+    pub mean_alloc_bytes: f64,
+    /// Application instructions executed per allocation (interpreter work,
+    /// database access, templating). Calibrated so that memory management
+    /// consumes a Figure 6-like share of CPU time under the default
+    /// allocator.
+    pub app_instr_per_malloc: u64,
+    /// Read touches of a live object over its lifetime (beyond the
+    /// initializing write).
+    pub touches_per_object: u32,
+    /// Bytes of per-process static data (interpreter tables, opcode
+    /// caches, database result buffers) touched alongside the heap.
+    pub static_bytes: u64,
+    /// Whether the runtime bulk-frees at transaction end (PHP: yes;
+    /// Ruby: no — §4.4).
+    pub bulk_free_at_end: bool,
+    /// Fraction of per-object-freed objects whose lifetime crosses into
+    /// later transactions (only meaningful without bulk free).
+    pub cross_tx_fraction: f64,
+}
+
+impl WorkloadSpec {
+    /// Fraction of allocated objects freed per-object (the paper: "more
+    /// than 80% of the total objects are deallocated by per-object free").
+    pub fn per_object_free_ratio(&self) -> f64 {
+        self.frees_per_tx as f64 / self.mallocs_per_tx as f64
+    }
+}
+
+/// MediaWiki, read-only scenario: reading randomly selected articles from
+/// a 1,000-article Wikipedia import, with memcached.
+pub fn mediawiki_read() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "MediaWiki (read only)",
+        mallocs_per_tx: 151_770,
+        frees_per_tx: 129_141,
+        reallocs_per_tx: 6_147,
+        mean_alloc_bytes: 62.1,
+        app_instr_per_malloc: 420,
+        touches_per_object: 2,
+        static_bytes: 2 << 20,
+        bulk_free_at_end: true,
+        cross_tx_fraction: 0.0,
+    }
+}
+
+/// MediaWiki, read/write scenario: 20% of transactions edit the article.
+pub fn mediawiki_rw() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "MediaWiki (read/write)",
+        mallocs_per_tx: 404_983,
+        frees_per_tx: 354_775,
+        reallocs_per_tx: 22_371,
+        mean_alloc_bytes: 66.7,
+        app_instr_per_malloc: 420,
+        touches_per_object: 2,
+        static_bytes: 2 << 20,
+        bulk_free_at_end: true,
+        cross_tx_fraction: 0.0,
+    }
+}
+
+/// SugarCRM: AJAX-style customer lookups against 512 user accounts.
+pub fn sugarcrm() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "SugarCRM",
+        mallocs_per_tx: 276_853,
+        frees_per_tx: 225_800,
+        reallocs_per_tx: 3_120,
+        mean_alloc_bytes: 49.3,
+        app_instr_per_malloc: 380,
+        touches_per_object: 2,
+        static_bytes: 2 << 20,
+        bulk_free_at_end: true,
+        cross_tx_fraction: 0.0,
+    }
+}
+
+/// eZ Publish: reading randomly selected articles of a 1,000-post blog.
+pub fn ez_publish() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "eZ Publish",
+        mallocs_per_tx: 123_019,
+        frees_per_tx: 109_856,
+        reallocs_per_tx: 4_646,
+        mean_alloc_bytes: 78.6,
+        app_instr_per_malloc: 430,
+        touches_per_object: 2,
+        static_bytes: 2 << 20,
+        bulk_free_at_end: true,
+        cross_tx_fraction: 0.0,
+    }
+}
+
+/// phpBB: reading randomly selected posts of a 1,000-post forum.
+pub fn phpbb() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "phpBB",
+        mallocs_per_tx: 46_965,
+        frees_per_tx: 43_267,
+        reallocs_per_tx: 1_003,
+        mean_alloc_bytes: 56.3,
+        app_instr_per_malloc: 440,
+        touches_per_object: 2,
+        static_bytes: 1 << 20,
+        bulk_free_at_end: true,
+        cross_tx_fraction: 0.0,
+    }
+}
+
+/// CakePHP: a telephone-directory application on the framework (read a
+/// table, select a record, update it).
+pub fn cakephp() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "CakePHP",
+        mallocs_per_tx: 99_195,
+        frees_per_tx: 82_645,
+        reallocs_per_tx: 3_574,
+        mean_alloc_bytes: 68.6,
+        app_instr_per_malloc: 430,
+        touches_per_object: 2,
+        static_bytes: 1 << 20,
+        bulk_free_at_end: true,
+        cross_tx_fraction: 0.0,
+    }
+}
+
+/// SPECweb2005, eCommerce scenario: few allocator calls, larger objects,
+/// and a "large amount of CPU time consumed in static file serving" — the
+/// workload the paper found least sensitive to the allocator.
+pub fn specweb() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "SPECweb2005",
+        mallocs_per_tx: 3_277,
+        frees_per_tx: 2_383,
+        reallocs_per_tx: 106,
+        mean_alloc_bytes: 175.6,
+        // Static serving dominates: ~25x the per-malloc application work.
+        app_instr_per_malloc: 11_000,
+        touches_per_object: 3,
+        static_bytes: 4 << 20,
+        bulk_free_at_end: true,
+        cross_tx_fraction: 0.0,
+    }
+}
+
+/// Ruby on Rails telephone-directory application (§4.4): CakePHP-like
+/// allocation behaviour, but the Ruby runtime never calls `freeAll` —
+/// every object is freed per-object (by the Ruby GC's sweep), a sliver of
+/// them surviving across transactions, and the heap is only truly cleaned
+/// by restarting the process.
+pub fn rails() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "Ruby on Rails",
+        mallocs_per_tx: 99_195,
+        frees_per_tx: 97_211, // ~98%: everything is eventually swept
+        reallocs_per_tx: 3_574,
+        mean_alloc_bytes: 68.6,
+        app_instr_per_malloc: 430,
+        touches_per_object: 2,
+        static_bytes: 1 << 20,
+        bulk_free_at_end: false,
+        cross_tx_fraction: 0.06,
+    }
+}
+
+/// The seven PHP workloads of the main study, in the paper's order
+/// (Tables 2-4, Figures 5-9).
+pub fn php_workloads() -> Vec<WorkloadSpec> {
+    vec![
+        mediawiki_read(),
+        mediawiki_rw(),
+        sugarcrm(),
+        ez_publish(),
+        phpbb(),
+        cakephp(),
+        specweb(),
+    ]
+}
+
+/// Looks a workload up by its paper name (exact match).
+pub fn by_name(name: &str) -> Option<WorkloadSpec> {
+    php_workloads()
+        .into_iter()
+        .chain(std::iter::once(rails()))
+        .find(|w| w.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_row_count_and_order() {
+        let all = php_workloads();
+        assert_eq!(all.len(), 7);
+        assert_eq!(all[0].name, "MediaWiki (read only)");
+        assert_eq!(all[6].name, "SPECweb2005");
+    }
+
+    #[test]
+    fn per_object_free_ratios_match_paper_range() {
+        // Paper: free calls are 7.9% to 27.3% (15.3% avg) fewer than mallocs.
+        let mut gaps = Vec::new();
+        for w in php_workloads() {
+            let gap = 1.0 - w.per_object_free_ratio();
+            assert!((0.07..=0.28).contains(&gap), "{}: gap {gap}", w.name);
+            gaps.push(gap);
+        }
+        let avg = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        assert!((0.13..=0.18).contains(&avg), "average gap {avg} should be ~15.3%");
+    }
+
+    #[test]
+    fn specweb_is_the_outlier() {
+        let s = specweb();
+        for w in php_workloads() {
+            if w.name != s.name {
+                assert!(w.mallocs_per_tx > 10 * s.mallocs_per_tx);
+                assert!(w.mean_alloc_bytes < s.mean_alloc_bytes);
+            }
+        }
+    }
+
+    #[test]
+    fn rails_never_bulk_frees() {
+        let r = rails();
+        assert!(!r.bulk_free_at_end);
+        assert!(r.cross_tx_fraction > 0.0);
+        assert!(r.per_object_free_ratio() > 0.95);
+    }
+
+    #[test]
+    fn by_name_roundtrip() {
+        assert_eq!(by_name("phpBB").unwrap().mallocs_per_tx, 46_965);
+        assert_eq!(by_name("Ruby on Rails").unwrap().bulk_free_at_end, false);
+        assert!(by_name("nope").is_none());
+    }
+}

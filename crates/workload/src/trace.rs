@@ -1,0 +1,134 @@
+//! Trace capture and replay.
+//!
+//! The generators in this crate are deterministic, but sometimes you want
+//! the *exact* operation sequence as an artifact: to diff two workload
+//! models, to feed an external allocator simulator, or to replay one
+//! stream against many allocators without regenerating it. A trace is a
+//! JSON-lines file, one [`WorkOp`] per line — self-describing and
+//! `grep`-able.
+
+use crate::stream::{TxStream, WorkOp};
+use std::io::{self, BufRead, Write};
+
+/// Writes `transactions` whole transactions from `stream` to `out`, one
+/// JSON-encoded [`WorkOp`] per line.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `out`.
+///
+/// # Examples
+///
+/// ```
+/// use webmm_workload::{phpbb, trace, TxStream};
+/// let mut stream = TxStream::new(phpbb(), 64, 7);
+/// let mut buf = Vec::new();
+/// trace::write_trace(&mut stream, 2, &mut buf)?;
+/// let ops = trace::read_trace(&buf[..])?;
+/// assert!(ops.len() > 1000);
+/// # Ok::<(), std::io::Error>(())
+/// ```
+pub fn write_trace<W: Write>(
+    stream: &mut TxStream,
+    transactions: u64,
+    mut out: W,
+) -> io::Result<()> {
+    let mut done = 0;
+    while done < transactions {
+        let op = stream.next_op();
+        let line = serde_json::to_string(&op).map_err(io::Error::other)?;
+        out.write_all(line.as_bytes())?;
+        out.write_all(b"\n")?;
+        if op == WorkOp::EndTx {
+            done += 1;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a trace written by [`write_trace`] back into memory.
+///
+/// # Errors
+///
+/// Returns an error on I/O failure or if a line is not a valid [`WorkOp`].
+pub fn read_trace<R: io::Read>(input: R) -> io::Result<Vec<WorkOp>> {
+    let mut ops = Vec::new();
+    for line in io::BufReader::new(input).lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        ops.push(serde_json::from_str(&line).map_err(io::Error::other)?);
+    }
+    Ok(ops)
+}
+
+/// An iterator adapter replaying a recorded trace as an op source.
+///
+/// After the recorded ops are exhausted it yields `EndTx` forever, so a
+/// replay can always be driven to a transaction boundary.
+#[derive(Debug, Clone)]
+pub struct TraceReplay {
+    ops: Vec<WorkOp>,
+    pos: usize,
+}
+
+impl TraceReplay {
+    /// Wraps a recorded op sequence.
+    pub fn new(ops: Vec<WorkOp>) -> Self {
+        TraceReplay { ops, pos: 0 }
+    }
+
+    /// The next operation (EndTx forever once exhausted).
+    pub fn next_op(&mut self) -> WorkOp {
+        let op = self.ops.get(self.pos).copied().unwrap_or(WorkOp::EndTx);
+        self.pos += 1;
+        op
+    }
+
+    /// Whether the recorded portion has been fully replayed.
+    pub fn exhausted(&self) -> bool {
+        self.pos >= self.ops.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::phpbb;
+
+    #[test]
+    fn round_trip_preserves_ops() {
+        let mut stream = TxStream::new(phpbb(), 64, 9);
+        let mut buf = Vec::new();
+        write_trace(&mut stream, 1, &mut buf).unwrap();
+        let ops = read_trace(&buf[..]).unwrap();
+        // Regenerate with the same seed and compare.
+        let mut stream2 = TxStream::new(phpbb(), 64, 9);
+        for (i, op) in ops.iter().enumerate() {
+            assert_eq!(*op, stream2.next_op(), "op {i} differs");
+        }
+        assert_eq!(*ops.last().unwrap(), WorkOp::EndTx);
+    }
+
+    #[test]
+    fn replay_yields_end_tx_forever() {
+        let mut r = TraceReplay::new(vec![WorkOp::Compute { instr: 5 }]);
+        assert_eq!(r.next_op(), WorkOp::Compute { instr: 5 });
+        assert!(!r.exhausted() || r.pos == 1);
+        assert_eq!(r.next_op(), WorkOp::EndTx);
+        assert_eq!(r.next_op(), WorkOp::EndTx);
+        assert!(r.exhausted());
+    }
+
+    #[test]
+    fn read_rejects_garbage() {
+        assert!(read_trace(&b"not json\n"[..]).is_err());
+    }
+
+    #[test]
+    fn read_skips_blank_lines() {
+        let ops = read_trace(&b"\n{\"EndTx\":null}\n\n"[..]).unwrap();
+        assert_eq!(ops, vec![WorkOp::EndTx]);
+    }
+}

@@ -1,0 +1,49 @@
+//! Custom machine: ask the paper's question about hardware that did not
+//! exist in 2009 — does the defrag-dodging argument still hold on a
+//! 16-core part with a fatter memory system?
+//!
+//! Run with: `cargo run --release --example custom_machine`
+
+use webmm::alloc::AllocatorKind;
+use webmm::runtime::{run, RunConfig};
+use webmm::sim::{CacheConfig, MachineConfig};
+use webmm::workload::mediawiki_read;
+
+fn main() {
+    // Start from the Clovertown and stretch it: twice the cores, a shared
+    // 16 MB L2 (LLC-style), and 2.5x the bus bandwidth.
+    let future = MachineConfig::xeon_clovertown()
+        .to_builder()
+        .name("16-core Xeon-like (hypothetical)")
+        .cores(16)
+        .cores_per_l2(16)
+        .l2(CacheConfig::new_hashed(16 * 1024 * 1024, 64, 16))
+        .bus_bytes_per_cycle(10.0)
+        .build();
+
+    for machine in [MachineConfig::xeon_clovertown(), future] {
+        println!("\n=== {} ===", machine.name);
+        let all_cores = machine.cores;
+        let mut base = None;
+        for kind in AllocatorKind::PHP_STUDY {
+            let cfg = RunConfig::new(kind, mediawiki_read())
+                .scale(32)
+                .cores(all_cores)
+                .window(2, 4);
+            let r = run(&machine, &cfg);
+            let tps = r.throughput.tx_per_sec;
+            let b = *base.get_or_insert(tps);
+            println!(
+                "{:<14} {:>10.1} tx/s ({:+5.1}%)  bus rho {:.2}, latency x{:.2}",
+                kind.id(),
+                tps,
+                (tps / b - 1.0) * 100.0,
+                r.throughput.bus_utilization,
+                r.throughput.latency_factor,
+            );
+        }
+    }
+    println!("\nEven with more bandwidth, doubling the cores doubles the demand: the");
+    println!("region allocator's per-transaction footprint scales with offered load,");
+    println!("so the paper's conclusion is not an artifact of 2009 bus widths.");
+}

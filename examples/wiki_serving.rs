@@ -1,0 +1,43 @@
+//! Wiki-serving study: how allocator choice changes MediaWiki-style
+//! throughput as cores are added — the paper's headline experiment,
+//! end to end through the public API.
+//!
+//! Run with: `cargo run --release --example wiki_serving`
+//! (set `WEBMM_SCALE` to trade fidelity for speed; default here is 32)
+
+use webmm::alloc::AllocatorKind;
+use webmm::runtime::{run, RunConfig};
+use webmm::sim::MachineConfig;
+use webmm::workload::mediawiki_read;
+
+fn main() {
+    let scale: u32 = std::env::var("WEBMM_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(32);
+    println!("MediaWiki (read only) on a simulated 8-core Xeon, workload scale 1/{scale}\n");
+    let machine = MachineConfig::xeon_clovertown();
+
+    println!(
+        "{:<8} {:>14} {:>14} {:>14}   winner",
+        "cores", "default", "region", "ddmalloc"
+    );
+    for cores in [1u32, 2, 4, 8] {
+        let mut best = ("", f64::MIN);
+        let mut cells = Vec::new();
+        for kind in AllocatorKind::PHP_STUDY {
+            let cfg = RunConfig::new(kind, mediawiki_read()).scale(scale).cores(cores).window(2, 4);
+            let r = run(&machine, &cfg);
+            let tps = r.throughput.tx_per_sec;
+            if tps > best.1 {
+                best = (kind.id(), tps);
+            }
+            cells.push(format!(
+                "{tps:>8.1} tx/s{}",
+                if r.throughput.latency_factor > 1.2 { "*" } else { " " }
+            ));
+        }
+        println!("{cores:<8} {} {} {}   {}", cells[0], cells[1], cells[2], best.0);
+    }
+    println!("\n(* = memory bus visibly contended at the fixed point)");
+    println!("The paper's story: the bump-pointer region allocator wins while the bus");
+    println!("has headroom, then falls behind as its dead-object traffic saturates it;");
+    println!("DDmalloc keeps the cheap malloc/free *and* the small working set.");
+}

@@ -1,0 +1,237 @@
+//! Integration tests for the paper's qualitative results — the acceptance
+//! criteria of DESIGN.md §4, exercised through the full stack (workload →
+//! runtime → simulator → profiler).
+//!
+//! These assert the *shape* of the results (signs, orderings, crossovers),
+//! not absolute numbers; magnitudes are recorded in EXPERIMENTS.md.
+
+use webmm::alloc::AllocatorKind;
+use webmm::profiler::{breakdown, event_deltas, memory_consumption};
+use webmm::runtime::{run, RunConfig, RunResult};
+use webmm::sim::MachineConfig;
+use webmm::workload::{mediawiki_read, rails, specweb};
+
+const SCALE: u32 = 64;
+
+fn php(machine: &MachineConfig, kind: AllocatorKind, cores: u32) -> RunResult {
+    run(machine, &RunConfig::new(kind, mediawiki_read()).scale(SCALE).cores(cores).window(2, 3))
+}
+
+fn tps(r: &RunResult) -> f64 {
+    r.throughput.tx_per_sec
+}
+
+/// Criterion 1+2: on one Xeon core both alternatives beat the default; on
+/// eight cores the region allocator falls behind while DDmalloc still wins
+/// — the paper's Figure 7 crossover.
+#[test]
+fn xeon_crossover() {
+    let machine = MachineConfig::xeon_clovertown();
+    let base1 = php(&machine, AllocatorKind::PhpDefault, 1);
+    let reg1 = php(&machine, AllocatorKind::Region, 1);
+    let dd1 = php(&machine, AllocatorKind::DdMalloc, 1);
+    assert!(tps(&reg1) > tps(&base1), "1 core: region must beat the default");
+    assert!(tps(&dd1) > tps(&base1), "1 core: DDmalloc must beat the default");
+
+    let base8 = php(&machine, AllocatorKind::PhpDefault, 8);
+    let reg8 = php(&machine, AllocatorKind::Region, 8);
+    let dd8 = php(&machine, AllocatorKind::DdMalloc, 8);
+    assert!(
+        tps(&reg8) < tps(&base8) * 0.97,
+        "8 cores: region must degrade ({} vs {})",
+        tps(&reg8),
+        tps(&base8)
+    );
+    assert!(tps(&dd8) > tps(&base8), "8 cores: DDmalloc must still win");
+    assert!(tps(&dd8) > tps(&reg8), "8 cores: DDmalloc must beat region");
+    // And the bus is the reason: region runs at a visibly higher latency factor.
+    assert!(
+        reg8.throughput.latency_factor > base8.throughput.latency_factor + 0.1,
+        "region's degradation must come from bus contention"
+    );
+}
+
+/// Criterion 3: the region penalty is milder on Niagara (more bandwidth
+/// headroom, no prefetcher, SMT latency hiding).
+#[test]
+fn niagara_is_milder_for_region() {
+    let xeon = MachineConfig::xeon_clovertown();
+    let niagara = MachineConfig::niagara_t1();
+    let rel = |machine: &MachineConfig| {
+        let base = php(machine, AllocatorKind::PhpDefault, 8);
+        let reg = php(machine, AllocatorKind::Region, 8);
+        tps(&reg) / tps(&base)
+    };
+    let xeon_rel = rel(&xeon);
+    let niagara_rel = rel(&niagara);
+    assert!(
+        niagara_rel > xeon_rel + 0.05,
+        "region on Niagara ({niagara_rel:.3}) must fare clearly better than on Xeon ({xeon_rel:.3})"
+    );
+}
+
+/// Criterion 4: SPECweb2005 — few allocator calls, compute-heavy — is
+/// insensitive to the allocator.
+#[test]
+fn specweb_is_insensitive() {
+    let machine = MachineConfig::xeon_clovertown();
+    let mut values = Vec::new();
+    for kind in AllocatorKind::PHP_STUDY {
+        let r = run(
+            &machine,
+            &RunConfig::new(kind, specweb()).scale(SCALE).cores(8).window(2, 3),
+        );
+        values.push(tps(&r));
+    }
+    let min = values.iter().cloned().fold(f64::MAX, f64::min);
+    let max = values.iter().cloned().fold(f64::MIN, f64::max);
+    assert!(
+        (max - min) / min < 0.04,
+        "SPECweb spread must stay under 4% (paper: ±1-2%): {values:?}"
+    );
+}
+
+/// Criterion 5 (Figure 8): the region allocator raises L2 misses and bus
+/// transactions, and on Xeon the bus-transaction increase exceeds the
+/// L2-miss increase because the prefetcher chases its streams.
+#[test]
+fn fig8_shape_region_traffic() {
+    let machine = MachineConfig::xeon_clovertown();
+    let base = php(&machine, AllocatorKind::PhpDefault, 8);
+    let reg = php(&machine, AllocatorKind::Region, 8);
+    let d = event_deltas(&reg, &base);
+    assert!(d.l2_misses > 5.0, "region must raise L2 misses ({:+.1}%)", d.l2_misses);
+    assert!(d.bus_txns > d.l2_misses, "prefetcher must amplify bus over L2 ({d:?})");
+    assert!(d.instructions < -5.0, "region executes fewer instructions");
+
+    // Without the prefetcher, the bus/L2 gap shrinks (the paper's
+    // prefetcher-disable experiment).
+    let no_pf = MachineConfig::xeon_clovertown().without_prefetcher();
+    let base_n = php(&no_pf, AllocatorKind::PhpDefault, 8);
+    let reg_n = php(&no_pf, AllocatorKind::Region, 8);
+    let d_n = event_deltas(&reg_n, &base_n);
+    assert!(
+        d_n.bus_txns - d_n.l2_misses < d.bus_txns - d.l2_misses,
+        "disabling the prefetcher must shrink the bus-vs-L2 gap ({:.0} vs {:.0})",
+        d_n.bus_txns - d_n.l2_misses,
+        d.bus_txns - d.l2_misses
+    );
+}
+
+/// Criterion 5 continued: DDmalloc lowers instructions and does not
+/// inflate bus traffic the way the region allocator does.
+#[test]
+fn fig8_shape_ddmalloc_traffic() {
+    let machine = MachineConfig::xeon_clovertown();
+    let base = php(&machine, AllocatorKind::PhpDefault, 8);
+    let dd = php(&machine, AllocatorKind::DdMalloc, 8);
+    let reg = php(&machine, AllocatorKind::Region, 8);
+    let d_dd = event_deltas(&dd, &base);
+    let d_reg = event_deltas(&reg, &base);
+    assert!(d_dd.instructions < -3.0, "DDmalloc executes fewer instructions");
+    assert!(
+        d_dd.bus_txns < d_reg.bus_txns / 2.0,
+        "DDmalloc bus traffic ({:+.1}%) must stay far below region's ({:+.1}%)",
+        d_dd.bus_txns,
+        d_reg.bus_txns
+    );
+}
+
+/// Criterion 6 (Figure 9): memory consumption — DDmalloc moderately above
+/// the default (paper: 1.24x), region far above (paper: ~3x).
+#[test]
+fn fig9_shape_memory() {
+    let machine = MachineConfig::xeon_clovertown();
+    let base = memory_consumption(&php(&machine, AllocatorKind::PhpDefault, 8)) as f64;
+    let dd = memory_consumption(&php(&machine, AllocatorKind::DdMalloc, 8)) as f64;
+    let reg = memory_consumption(&php(&machine, AllocatorKind::Region, 8)) as f64;
+    let dd_ratio = dd / base;
+    // At test scale the granularity floors (Zend's 256 KB arenas,
+    // DDmalloc's segment-per-class minimum) dominate the live sets, so the
+    // assertions here check the *definitions*, not the paper's magnitudes;
+    // the fig9 harness measures at a finer scale where the ratios approach
+    // the paper's 1.24x / ~3x.
+    assert!(
+        (1.0..8.0).contains(&dd_ratio),
+        "DDmalloc must consume more than the default ({dd_ratio:.2})"
+    );
+    // Region's Figure 9 metric is "total memory allocated during a
+    // transaction": it must track the stream volume, not the 256 MB
+    // reservation.
+    let wl = mediawiki_read();
+    let expected = (wl.mallocs_per_tx / u64::from(SCALE)) as f64 * wl.mean_alloc_bytes;
+    assert!(
+        (0.5..2.0).contains(&(reg / expected)),
+        "region metric {reg} must track per-tx allocation volume (~{expected})"
+    );
+}
+
+/// Figure 6 shape: region cuts memory-management CPU the most, DDmalloc
+/// substantially, and the application portion stays comparable.
+#[test]
+fn fig6_shape_mm_cuts() {
+    let machine = MachineConfig::xeon_clovertown();
+    let base = breakdown(&php(&machine, AllocatorKind::PhpDefault, 8));
+    let reg = breakdown(&php(&machine, AllocatorKind::Region, 8));
+    let dd = breakdown(&php(&machine, AllocatorKind::DdMalloc, 8));
+    let reg_cut = 1.0 - reg.mm_cycles / base.mm_cycles;
+    let dd_cut = 1.0 - dd.mm_cycles / base.mm_cycles;
+    assert!(reg_cut > 0.7, "region mm cut {reg_cut:.2} (paper: 85%)");
+    assert!((0.25..0.9).contains(&dd_cut), "DDmalloc mm cut {dd_cut:.2} (paper: 56%)");
+    assert!(reg_cut > dd_cut);
+    // Region's "others" portion grows: the hidden cost of no reuse.
+    assert!(
+        reg.other_cycles > base.other_cycles,
+        "region must slow the rest of the program ({} vs {})",
+        reg.other_cycles,
+        base.other_cycles
+    );
+}
+
+/// §4.4 shape: in the Ruby setup (no freeAll, periodic restarts) DDmalloc
+/// still beats glibc — per-object free alone is enough to keep its edge.
+#[test]
+fn ruby_study_ddmalloc_beats_glibc() {
+    let machine = MachineConfig::xeon_clovertown();
+    let mk = |kind| {
+        let cfg = RunConfig::new(kind, rails())
+            .scale(SCALE)
+            .cores(2)
+            .window(2, 20)
+            .restart_every(Some(500))
+            .no_free_all();
+        run(&machine, &cfg)
+    };
+    let glibc = mk(AllocatorKind::Dl);
+    let dd = mk(AllocatorKind::DdMalloc);
+    assert!(
+        tps(&dd) > tps(&glibc) * 1.02,
+        "DDmalloc ({}) must beat glibc ({}) on Rails",
+        tps(&dd),
+        tps(&glibc)
+    );
+    // And it does so by spending less time in memory management.
+    assert!(breakdown(&dd).mm_cycles < breakdown(&glibc).mm_cycles);
+}
+
+/// DDmalloc's large-page optimization slashes D-TLB misses (the >60%
+/// reduction the paper reports when enabling it on Xeon).
+#[test]
+fn large_pages_cut_tlb_misses() {
+    use webmm::alloc::DdConfig;
+    let machine = MachineConfig::xeon_clovertown();
+    let small = php(&machine, AllocatorKind::DdMalloc, 1);
+    let cfg = RunConfig::new(AllocatorKind::DdMalloc, mediawiki_read())
+        .scale(SCALE)
+        .cores(1)
+        .window(2, 3)
+        .dd_config(DdConfig { large_pages: true, ..DdConfig::default() });
+    let large = run(&machine, &cfg);
+    let misses = |r: &RunResult| r.total_events().total().dtlb_misses;
+    assert!(
+        misses(&large) * 2 < misses(&small).max(1),
+        "4 MB pages must cut D-TLB misses ({} vs {})",
+        misses(&large),
+        misses(&small)
+    );
+}
