@@ -128,7 +128,9 @@ impl BoundaryHeap {
     /// composite allocators (Hoard-, TCmalloc-style) that route large
     /// objects to a boundary-tag heap and must classify pointers on free.
     pub fn contains(&self, addr: Addr) -> bool {
-        self.arenas.iter().any(|&a| addr >= a && addr < a + self.arena_bytes)
+        self.arenas
+            .iter()
+            .any(|&a| addr >= a && addr < a + self.arena_bytes)
     }
 
     fn layout(&mut self, port: &mut dyn MemoryPort) -> Layout {
@@ -139,7 +141,12 @@ impl BoundaryHeap {
         let binmap = bins + (N_BINS as u64) * 8;
         let cursor = binmap + 64;
         let limit = cursor + 8;
-        let l = Layout { bins, binmap, cursor, limit };
+        let l = Layout {
+            bins,
+            binmap,
+            cursor,
+            limit,
+        };
         self.layout = Some(l);
         let arena = port.os_alloc(self.arena_bytes, 4096, PageSize::Base);
         self.arenas.push(arena);
@@ -304,7 +311,11 @@ impl BoundaryHeap {
         }
         port.store_u64(end + 8, prev_size);
         let sf = port.load_u64(end);
-        let sf = if prev_used { sf | F_PREV_USED } else { sf & !F_PREV_USED };
+        let sf = if prev_used {
+            sf | F_PREV_USED
+        } else {
+            sf & !F_PREV_USED
+        };
         port.store_u64(end, sf);
         self.exec(port, 5);
     }
@@ -374,7 +385,10 @@ impl BoundaryHeap {
 
     /// Allocates `size` payload bytes.
     pub fn malloc(&mut self, port: &mut dyn MemoryPort, size: u64) -> Result<Addr, AllocError> {
-        debug_assert!(size > 0, "zero-size request must be filtered by the wrapper");
+        debug_assert!(
+            size > 0,
+            "zero-size request must be filtered by the wrapper"
+        );
         let l = self.layout(port);
         let need = round_up(size + HEADER, 8).max(MIN_BLOCK);
         if need > self.arena_bytes {
@@ -398,7 +412,11 @@ impl BoundaryHeap {
             let head_addr = l.bins + b as u64 * 8;
             let mut node = Addr::new(port.load_u64(head_addr));
             let mut probes = 0;
-            let cap = if self.sorted_large_bins { SORT_CAP } else { PROBE_CAP };
+            let cap = if self.sorted_large_bins {
+                SORT_CAP
+            } else {
+                PROBE_CAP
+            };
             while !node.is_null() && probes < cap {
                 let (bs, _) = self.read_header(port, node);
                 self.exec(port, 4);

@@ -32,8 +32,8 @@ mod size_class;
 pub use size_class::{ClassMapping, SizeClasses};
 
 use crate::api::{
-    enter_mm, exit_mm, AllocError, AllocTraits, Allocator, BandwidthClass, CostClass,
-    Footprint, OpStats,
+    enter_mm, exit_mm, AllocError, AllocTraits, Allocator, BandwidthClass, CostClass, Footprint,
+    OpStats,
 };
 use webmm_sim::{Addr, CodeRegionId, CodeSpec, MemoryPort, PageSize};
 
@@ -175,7 +175,11 @@ impl DdMalloc {
             0
         };
         let meta = port.os_alloc(meta_len + 61 * 64, 4096, PageSize::Base) + offset;
-        let pages = if self.config.large_pages { PageSize::Large } else { PageSize::Base };
+        let pages = if self.config.large_pages {
+            PageSize::Large
+        } else {
+            PageSize::Base
+        };
         let seg_base = port.os_alloc(
             n_segs * self.config.segment_bytes,
             self.config.segment_bytes,
@@ -230,7 +234,9 @@ impl DdMalloc {
     ) -> Result<u64, AllocError> {
         let max = u64::from(self.config.max_segments);
         if need > max {
-            return Err(AllocError::OutOfMemory { requested: need * self.config.segment_bytes });
+            return Err(AllocError::OutOfMemory {
+                requested: need * self.config.segment_bytes,
+            });
         }
         let rotor = port.load_u64(l.rotor_addr).min(max - 1);
         port.exec(8);
@@ -275,7 +281,9 @@ impl DdMalloc {
                 i = chunk_last;
             }
         }
-        Err(AllocError::OutOfMemory { requested: need * self.config.segment_bytes })
+        Err(AllocError::OutOfMemory {
+            requested: need * self.config.segment_bytes,
+        })
     }
 
     fn malloc_small(
@@ -330,7 +338,9 @@ impl DdMalloc {
         port.store_u64(hint_addr, seg);
         port.store_u8(l.class_map + seg, class as u8 + 1);
         let seg_addr = self.seg_addr(l, seg);
-        let per_seg = self.classes.objects_per_segment(class, self.config.segment_bytes);
+        let per_seg = self
+            .classes
+            .objects_per_segment(class, self.config.segment_bytes);
         if per_seg > 1 {
             let second = seg_addr + obj_size;
             port.store_u32(second, (per_seg - 1) as u32);
@@ -366,7 +376,10 @@ impl DdMalloc {
             let span = port.load_u32(l.span_base + seg * 4);
             u64::from(span) * self.config.segment_bytes
         } else {
-            debug_assert!(tag != SEG_FREE, "usable_size on an address in a free segment");
+            debug_assert!(
+                tag != SEG_FREE,
+                "usable_size on an address in a free segment"
+            );
             self.classes.size_of(usize::from(tag - 1))
         }
     }
@@ -445,16 +458,23 @@ impl Allocator for DdMalloc {
                 port.store_u8(l.class_map + seg + k, SEG_FREE);
             }
             port.exec(4 + 2 * span);
-            self.tx_alloc_bytes = self.tx_alloc_bytes.saturating_sub(span * self.config.segment_bytes);
+            self.tx_alloc_bytes = self
+                .tx_alloc_bytes
+                .saturating_sub(span * self.config.segment_bytes);
         } else {
-            debug_assert!(tag != SEG_FREE, "double free or wild pointer: segment is free");
+            debug_assert!(
+                tag != SEG_FREE,
+                "double free or wild pointer: segment is free"
+            );
             let class = usize::from(tag - 1);
             let chain_addr = l.chain_base + class as u64 * 8;
             let head = port.load_u64(chain_addr);
             port.store_u64(addr, head);
             port.store_u64(chain_addr, addr.raw());
             port.exec(5);
-            self.tx_alloc_bytes = self.tx_alloc_bytes.saturating_sub(self.classes.size_of(class));
+            self.tx_alloc_bytes = self
+                .tx_alloc_bytes
+                .saturating_sub(self.classes.size_of(class));
         }
         self.stats.frees += 1;
         exit_mm(port);
@@ -558,7 +578,10 @@ mod tests {
     use webmm_sim::PlainPort;
 
     fn dd() -> DdMalloc {
-        DdMalloc::new(DdConfig { max_segments: 256, ..DdConfig::default() })
+        DdMalloc::new(DdConfig {
+            max_segments: 256,
+            ..DdConfig::default()
+        })
     }
 
     #[test]
@@ -630,7 +653,10 @@ mod tests {
     #[test]
     fn freed_large_span_reused_after_scan_wraps() {
         let mut port = PlainPort::new();
-        let mut a = DdMalloc::new(DdConfig { max_segments: 4, ..DdConfig::default() });
+        let mut a = DdMalloc::new(DdConfig {
+            max_segments: 4,
+            ..DdConfig::default()
+        });
         let x = a.malloc(&mut port, 40 * 1024).unwrap(); // segments 0-1
         let _small = a.malloc(&mut port, 8).unwrap(); // segment 2
         a.free(&mut port, x);
@@ -692,7 +718,11 @@ mod tests {
         assert_eq!(port.memory().read_u64(y), 0xabcd);
         assert_eq!(port.memory().read_u64(y + 8), 0x1234);
         assert_eq!(a.stats().reallocs, 1);
-        assert_eq!(a.stats().mallocs, 1, "realloc's internal malloc not double-counted");
+        assert_eq!(
+            a.stats().mallocs,
+            1,
+            "realloc's internal malloc not double-counted"
+        );
     }
 
     #[test]
@@ -717,7 +747,10 @@ mod tests {
     #[test]
     fn oom_when_heap_exhausted() {
         let mut port = PlainPort::new();
-        let mut a = DdMalloc::new(DdConfig { max_segments: 4, ..DdConfig::default() });
+        let mut a = DdMalloc::new(DdConfig {
+            max_segments: 4,
+            ..DdConfig::default()
+        });
         // 4 segments of 32 KB: a 5-segment large object cannot fit.
         assert!(matches!(
             a.malloc(&mut port, 160 * 1024),
@@ -743,7 +776,11 @@ mod tests {
         a.free_all(&mut port);
         let fp2 = a.footprint();
         assert_eq!(fp2.peak_tx_alloc_bytes, 10 * 1024, "peak survives freeAll");
-        assert_eq!(fp2.heap_bytes, 32 * 1024, "heap high-water survives freeAll");
+        assert_eq!(
+            fp2.heap_bytes,
+            32 * 1024,
+            "heap high-water survives freeAll"
+        );
     }
 
     #[test]
@@ -761,7 +798,12 @@ mod tests {
     fn metadata_offset_distinguishes_processes() {
         let mut port0 = PlainPort::new();
         let mut port1 = PlainPort::new();
-        let mk = |pid| DdConfig { pid, metadata_offset: true, max_segments: 64, ..DdConfig::default() };
+        let mk = |pid| DdConfig {
+            pid,
+            metadata_offset: true,
+            max_segments: 64,
+            ..DdConfig::default()
+        };
         let mut a0 = DdMalloc::new(mk(0));
         let mut a1 = DdMalloc::new(mk(1));
         a0.malloc(&mut port0, 8).unwrap();
@@ -780,7 +822,11 @@ mod tests {
     #[test]
     fn large_pages_flag_maps_heap_large() {
         let mut port = PlainPort::new();
-        let mut a = DdMalloc::new(DdConfig { large_pages: true, max_segments: 64, ..DdConfig::default() });
+        let mut a = DdMalloc::new(DdConfig {
+            large_pages: true,
+            max_segments: 64,
+            ..DdConfig::default()
+        });
         a.malloc(&mut port, 8).unwrap();
         assert_eq!(port.large_ranges().len(), 1);
     }

@@ -40,7 +40,10 @@ impl SizeClasses {
     ///
     /// Panics if `segment_bytes` is not a power of two or is below 1 KB.
     pub fn new(segment_bytes: u64, mapping: ClassMapping) -> Self {
-        assert!(segment_bytes.is_power_of_two(), "segment size must be a power of two");
+        assert!(
+            segment_bytes.is_power_of_two(),
+            "segment size must be a power of two"
+        );
         assert!(segment_bytes >= 1024, "segments below 1 KB are not useful");
         let large_threshold = segment_bytes / 2;
         let mut sizes = Vec::new();
@@ -79,7 +82,11 @@ impl SizeClasses {
                 }
             }
         }
-        SizeClasses { sizes, mapping, large_threshold }
+        SizeClasses {
+            sizes,
+            mapping,
+            large_threshold,
+        }
     }
 
     /// The mapping policy this table was built with.
@@ -167,7 +174,11 @@ mod tests {
 
     #[test]
     fn classes_are_sorted_and_unique() {
-        for mapping in [ClassMapping::Paper, ClassMapping::PowersOfTwo, ClassMapping::Fine8] {
+        for mapping in [
+            ClassMapping::Paper,
+            ClassMapping::PowersOfTwo,
+            ClassMapping::Fine8,
+        ] {
             let sc = SizeClasses::new(32 * 1024, mapping);
             for w in sc.sizes.windows(2) {
                 assert!(w[0] < w[1], "{mapping:?} table must be strictly increasing");
@@ -178,10 +189,16 @@ mod tests {
 
     #[test]
     fn every_small_size_maps_to_a_class_at_least_as_big() {
-        for mapping in [ClassMapping::Paper, ClassMapping::PowersOfTwo, ClassMapping::Fine8] {
+        for mapping in [
+            ClassMapping::Paper,
+            ClassMapping::PowersOfTwo,
+            ClassMapping::Fine8,
+        ] {
             let sc = SizeClasses::new(32 * 1024, mapping);
             for size in 1..=sc.large_threshold() {
-                let class = sc.class_of(size).unwrap_or_else(|| panic!("{size} unmapped"));
+                let class = sc
+                    .class_of(size)
+                    .unwrap_or_else(|| panic!("{size} unmapped"));
                 assert!(sc.size_of(class) >= size, "class too small for {size}");
                 // And the class below (if any) would not fit.
                 if class > 0 {

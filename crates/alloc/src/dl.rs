@@ -31,7 +31,10 @@ pub struct DlConfig {
 
 impl Default for DlConfig {
     fn default() -> Self {
-        DlConfig { arena_bytes: 1024 * 1024, max_arenas: 1024 }
+        DlConfig {
+            arena_bytes: 1024 * 1024,
+            max_arenas: 1024,
+        }
     }
 }
 
@@ -170,7 +173,10 @@ mod tests {
     use webmm_sim::PlainPort;
 
     fn dl() -> DlAlloc {
-        DlAlloc::new(DlConfig { arena_bytes: 64 * 1024, max_arenas: 16 })
+        DlAlloc::new(DlConfig {
+            arena_bytes: 64 * 1024,
+            max_arenas: 16,
+        })
     }
 
     #[test]
@@ -194,12 +200,18 @@ mod tests {
         // Sustained churn with full drain each round: coalescing + the
         // wilderness absorb keep the heap from growing.
         for _ in 0..50 {
-            let objs: Vec<_> = (0..100).map(|i| m.malloc(&mut port, 40 + (i % 7) * 24).unwrap()).collect();
+            let objs: Vec<_> = (0..100)
+                .map(|i| m.malloc(&mut port, 40 + (i % 7) * 24).unwrap())
+                .collect();
             for o in objs {
                 m.free(&mut port, o);
             }
         }
-        assert_eq!(m.footprint().heap_bytes, 64 * 1024, "one arena suffices forever");
+        assert_eq!(
+            m.footprint().heap_bytes,
+            64 * 1024,
+            "one arena suffices forever"
+        );
     }
 
     #[test]

@@ -11,6 +11,19 @@ use crate::region::{RegionAlloc, RegionConfig};
 use crate::tcmalloc::{TcAlloc, TcConfig};
 
 /// Every allocator studied in the paper, as a buildable enum.
+///
+/// # One heap, one thread
+///
+/// The paper's serving model is *process-per-worker*: each PHP/Ruby worker
+/// owns a private heap and never shares allocator state (§2.1). The
+/// allocators here mirror that — none of them is internally synchronized,
+/// so a built allocator must only ever be driven from one thread at a
+/// time. Handing a whole heap *to* a thread is fine and is the intended
+/// pattern for native execution: `AllocatorKind` is `Copy + Send`, and
+/// [`AllocatorKind::build_send`] certifies at compile time that every
+/// concrete allocator can move across the spawn boundary. What is *not*
+/// supported is two threads calling into the same allocator concurrently;
+/// nothing hands out `Sync` access, so the compiler rejects that too.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, serde::Serialize)]
 pub enum AllocatorKind {
     /// The paper's contribution: the defrag-dodging DDmalloc (§3).
@@ -34,8 +47,11 @@ pub enum AllocatorKind {
 impl AllocatorKind {
     /// The three allocators of the main PHP study (Figures 1 and 5-9,
     /// Tables 3-4), in the paper's presentation order.
-    pub const PHP_STUDY: [AllocatorKind; 3] =
-        [AllocatorKind::PhpDefault, AllocatorKind::Region, AllocatorKind::DdMalloc];
+    pub const PHP_STUDY: [AllocatorKind; 3] = [
+        AllocatorKind::PhpDefault,
+        AllocatorKind::Region,
+        AllocatorKind::DdMalloc,
+    ];
 
     /// The four allocators of the Ruby on Rails study (Figures 10-12).
     pub const RUBY_STUDY: [AllocatorKind; 4] = [
@@ -61,10 +77,22 @@ impl AllocatorKind {
     /// simulated process id `pid` (used by DDmalloc's metadata-placement
     /// optimization; ignored by the others).
     pub fn build(self, pid: u32) -> Box<dyn Allocator> {
+        self.build_send(pid)
+    }
+
+    /// Like [`AllocatorKind::build`], but certifies the heap can be handed
+    /// to an OS thread: the returned box is `Send`, which holds because no
+    /// allocator in this crate keeps `Rc`/`RefCell`/raw-pointer state.
+    ///
+    /// This is the constructor the native serving harness
+    /// (`webmm-server`) uses — one worker thread, one heap, per the
+    /// invariant documented on [`AllocatorKind`].
+    pub fn build_send(self, pid: u32) -> Box<dyn Allocator + Send> {
         match self {
-            AllocatorKind::DdMalloc => {
-                Box::new(DdMalloc::new(DdConfig { pid, ..DdConfig::default() }))
-            }
+            AllocatorKind::DdMalloc => Box::new(DdMalloc::new(DdConfig {
+                pid,
+                ..DdConfig::default()
+            })),
             AllocatorKind::Region => Box::new(RegionAlloc::new(RegionConfig::default())),
             AllocatorKind::Obstack => Box::new(ObstackAlloc::new(ObstackConfig::default())),
             AllocatorKind::PhpDefault => Box::new(PhpDefaultAlloc::new(PhpConfig::default())),
@@ -136,7 +164,9 @@ mod tests {
         for kind in AllocatorKind::ALL {
             let mut a = kind.build(3);
             let mut port = PlainPort::new();
-            let x = a.malloc(&mut port, 100).unwrap_or_else(|e| panic!("{kind}: {e}"));
+            let x = a
+                .malloc(&mut port, 100)
+                .unwrap_or_else(|e| panic!("{kind}: {e}"));
             assert!(!x.is_null());
             if a.alloc_traits().per_object_free {
                 a.free(&mut port, x);
@@ -175,7 +205,10 @@ mod tests {
     #[test]
     fn names_match_paper_figures() {
         assert_eq!(AllocatorKind::DdMalloc.build(0).name(), "our DDmalloc");
-        assert_eq!(AllocatorKind::Region.build(0).name(), "region-based allocator");
+        assert_eq!(
+            AllocatorKind::Region.build(0).name(),
+            "region-based allocator"
+        );
         assert_eq!(
             AllocatorKind::PhpDefault.build(0).name(),
             "default allocator of the PHP runtime"

@@ -47,7 +47,9 @@ pub struct HoardConfig {
 
 impl Default for HoardConfig {
     fn default() -> Self {
-        HoardConfig { max_superblocks: 64 * 1024 }
+        HoardConfig {
+            max_superblocks: 64 * 1024,
+        }
     }
 }
 
@@ -117,7 +119,10 @@ impl HoardAlloc {
             return l;
         }
         let meta = port.os_alloc((N_CLASSES as u64) * 8 + 8, 4096, PageSize::Base);
-        let l = Layout { avail: meta, pool: meta + (N_CLASSES as u64) * 8 };
+        let l = Layout {
+            avail: meta,
+            pool: meta + (N_CLASSES as u64) * 8,
+        };
         self.layout = Some(l);
         l
     }
@@ -164,7 +169,9 @@ impl HoardAlloc {
             pooled
         } else {
             if self.superblocks >= u64::from(self.config.max_superblocks) {
-                return Err(AllocError::OutOfMemory { requested: SB_BYTES });
+                return Err(AllocError::OutOfMemory {
+                    requested: SB_BYTES,
+                });
             }
             self.superblocks += 1;
             port.os_alloc(SB_BYTES, SB_BYTES, PageSize::Base)
@@ -307,13 +314,13 @@ impl Allocator for HoardAlloc {
         }
         let usable = if self.large.contains(addr) {
             let spec = self.code_spec();
-        enter_mm(port, &mut self.code_id, spec);
+            enter_mm(port, &mut self.code_id, spec);
             let u = self.large.usable(port, addr);
             exit_mm(port);
             u
         } else {
             let spec = self.code_spec();
-        enter_mm(port, &mut self.code_id, spec);
+            enter_mm(port, &mut self.code_id, spec);
             let sb = addr.align_down(SB_BYTES);
             let class = port.load_u64(sb + H_CLASS) as usize;
             port.exec(4);
@@ -364,7 +371,9 @@ mod tests {
     use webmm_sim::PlainPort;
 
     fn hoard() -> HoardAlloc {
-        HoardAlloc::new(HoardConfig { max_superblocks: 64 })
+        HoardAlloc::new(HoardConfig {
+            max_superblocks: 64,
+        })
     }
 
     #[test]
@@ -419,7 +428,7 @@ mod tests {
         let a = h.malloc(&mut port, 64).unwrap();
         let sb_a = a.align_down(SB_BYTES);
         h.free(&mut port, a); // superblock empty → global pool
-        // A different class must reuse the pooled superblock, not mmap.
+                              // A different class must reuse the pooled superblock, not mmap.
         let b = h.malloc(&mut port, 128).unwrap();
         assert_eq!(b.align_down(SB_BYTES), sb_a);
         assert_eq!(h.footprint().heap_bytes, SB_BYTES);

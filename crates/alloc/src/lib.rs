@@ -49,9 +49,7 @@ mod reaps;
 mod region;
 mod tcmalloc;
 
-pub use api::{
-    AllocError, AllocTraits, Allocator, BandwidthClass, CostClass, Footprint, OpStats,
-};
+pub use api::{AllocError, AllocTraits, Allocator, BandwidthClass, CostClass, Footprint, OpStats};
 pub use ddmalloc::{ClassMapping, DdConfig, DdMalloc, SizeClasses};
 pub use dl::{DlAlloc, DlConfig};
 pub use factory::AllocatorKind;

@@ -27,7 +27,10 @@ pub struct ObstackConfig {
 
 impl Default for ObstackConfig {
     fn default() -> Self {
-        ObstackConfig { chunk_bytes: 64 * 1024, max_chunks: 16 * 1024 }
+        ObstackConfig {
+            chunk_bytes: 64 * 1024,
+            max_chunks: 16 * 1024,
+        }
     }
 }
 
@@ -214,7 +217,10 @@ mod tests {
     use webmm_sim::PlainPort;
 
     fn ob() -> ObstackAlloc {
-        ObstackAlloc::new(ObstackConfig { chunk_bytes: 4096, max_chunks: 4 })
+        ObstackAlloc::new(ObstackConfig {
+            chunk_bytes: 4096,
+            max_chunks: 4,
+        })
     }
 
     #[test]
@@ -259,14 +265,20 @@ mod tests {
         for _ in 0..4 {
             o.malloc(&mut port, 4000).unwrap();
         }
-        assert!(matches!(o.malloc(&mut port, 4000), Err(AllocError::OutOfMemory { .. })));
+        assert!(matches!(
+            o.malloc(&mut port, 4000),
+            Err(AllocError::OutOfMemory { .. })
+        ));
     }
 
     #[test]
     fn refills_more_often_than_big_regions() {
         // The paper's reason obstack lost to their 256 MB region allocator.
         let mut port = PlainPort::new();
-        let mut o = ObstackAlloc::new(ObstackConfig { chunk_bytes: 4096, max_chunks: 256 });
+        let mut o = ObstackAlloc::new(ObstackConfig {
+            chunk_bytes: 4096,
+            max_chunks: 256,
+        });
         for _ in 0..1000 {
             o.malloc(&mut port, 512).unwrap();
         }

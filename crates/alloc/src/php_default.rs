@@ -30,7 +30,10 @@ pub struct PhpConfig {
 impl Default for PhpConfig {
     fn default() -> Self {
         // Zend MM grows its heap in 256 KB segments.
-        PhpConfig { arena_bytes: 256 * 1024, max_arenas: 4096 }
+        PhpConfig {
+            arena_bytes: 256 * 1024,
+            max_arenas: 4096,
+        }
     }
 }
 
@@ -171,7 +174,10 @@ mod tests {
     use webmm_sim::PlainPort;
 
     fn php() -> PhpDefaultAlloc {
-        PhpDefaultAlloc::new(PhpConfig { arena_bytes: 64 * 1024, max_arenas: 64 })
+        PhpDefaultAlloc::new(PhpConfig {
+            arena_bytes: 64 * 1024,
+            max_arenas: 64,
+        })
     }
 
     #[test]
@@ -224,7 +230,10 @@ mod tests {
         z.free(&mut port, b);
         // A 340-byte request fits only in the coalesced 360-byte block.
         let big = z.malloc(&mut port, 340).unwrap();
-        assert_eq!(big, a, "coalesced block serves a request none of the parts could");
+        assert_eq!(
+            big, a,
+            "coalesced block serves a request none of the parts could"
+        );
     }
 
     #[test]
@@ -253,7 +262,10 @@ mod tests {
     #[test]
     fn arena_growth_and_oom() {
         let mut port = PlainPort::new();
-        let mut z = PhpDefaultAlloc::new(PhpConfig { arena_bytes: 4096, max_arenas: 2 });
+        let mut z = PhpDefaultAlloc::new(PhpConfig {
+            arena_bytes: 4096,
+            max_arenas: 2,
+        });
         let mut n = 0;
         loop {
             match z.malloc(&mut port, 1000) {
@@ -273,7 +285,11 @@ mod tests {
         let mut z = php();
         let a = z.malloc(&mut port, 64).unwrap();
         port.store_u64(a, 0xdada);
-        assert_eq!(z.realloc(&mut port, a, 64, 60).unwrap(), a, "shrink in place");
+        assert_eq!(
+            z.realloc(&mut port, a, 64, 60).unwrap(),
+            a,
+            "shrink in place"
+        );
         let b = z.realloc(&mut port, a, 60, 4000).unwrap();
         assert_ne!(a, b);
         assert_eq!(port.memory().read_u64(b), 0xdada);
@@ -297,7 +313,9 @@ mod tests {
         let measure = |alloc: &mut dyn Allocator| {
             let mut port = PlainPort::new();
             // Warm up, then measure a steady-state malloc/free churn.
-            let mut objs: Vec<_> = (0..64).map(|_| alloc.malloc(&mut port, 64).unwrap()).collect();
+            let mut objs: Vec<_> = (0..64)
+                .map(|_| alloc.malloc(&mut port, 64).unwrap())
+                .collect();
             let start = port.instructions();
             for _ in 0..1000 {
                 let o = objs.pop().unwrap();

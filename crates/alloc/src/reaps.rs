@@ -33,7 +33,10 @@ pub struct ReapConfig {
 
 impl Default for ReapConfig {
     fn default() -> Self {
-        ReapConfig { arena_bytes: 256 * 1024, max_arenas: 4096 }
+        ReapConfig {
+            arena_bytes: 256 * 1024,
+            max_arenas: 4096,
+        }
     }
 }
 
@@ -171,7 +174,10 @@ mod tests {
     use webmm_sim::PlainPort;
 
     fn reap() -> ReapAlloc {
-        ReapAlloc::new(ReapConfig { arena_bytes: 64 * 1024, max_arenas: 64 })
+        ReapAlloc::new(ReapConfig {
+            arena_bytes: 64 * 1024,
+            max_arenas: 64,
+        })
     }
 
     #[test]
@@ -194,8 +200,9 @@ mod tests {
         // Lea-allocator instructions even though it also has freeAll.
         let measure = |alloc: &mut dyn Allocator| {
             let mut port = PlainPort::new();
-            let mut objs: Vec<_> =
-                (0..64).map(|_| alloc.malloc(&mut port, 64).unwrap()).collect();
+            let mut objs: Vec<_> = (0..64)
+                .map(|_| alloc.malloc(&mut port, 64).unwrap())
+                .collect();
             let start = port.instructions();
             for _ in 0..500 {
                 let o = objs.pop().unwrap();

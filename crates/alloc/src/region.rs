@@ -32,7 +32,11 @@ pub struct RegionConfig {
 
 impl Default for RegionConfig {
     fn default() -> Self {
-        RegionConfig { chunk_bytes: 256 * 1024 * 1024, max_chunks: 8, large_pages: false }
+        RegionConfig {
+            chunk_bytes: 256 * 1024 * 1024,
+            max_chunks: 8,
+            large_pages: false,
+        }
     }
 }
 
@@ -248,7 +252,11 @@ mod tests {
     use webmm_sim::PlainPort;
 
     fn small() -> RegionAlloc {
-        RegionAlloc::new(RegionConfig { chunk_bytes: 4096, max_chunks: 3, large_pages: false })
+        RegionAlloc::new(RegionConfig {
+            chunk_bytes: 4096,
+            max_chunks: 3,
+            large_pages: false,
+        })
     }
 
     #[test]
@@ -353,6 +361,10 @@ mod tests {
         r.malloc(&mut port, 1000).unwrap();
         assert_eq!(r.footprint().peak_tx_alloc_bytes, 3000);
         r.free_all(&mut port);
-        assert_eq!(r.footprint().peak_tx_alloc_bytes, 3000, "peak survives freeAll");
+        assert_eq!(
+            r.footprint().peak_tx_alloc_bytes,
+            3000,
+            "peak survives freeAll"
+        );
     }
 }

@@ -46,7 +46,9 @@ pub struct TcConfig {
 
 impl Default for TcConfig {
     fn default() -> Self {
-        TcConfig { max_spans: 16 * 1024 } // 512 MB of span address space
+        TcConfig {
+            max_spans: 16 * 1024,
+        } // 512 MB of span address space
     }
 }
 
@@ -465,7 +467,9 @@ mod tests {
         let mut t = tc();
         // Exactly RELEASE_AT objects: a multiple of BATCH, so the refills
         // carve precisely this many and the conservation check is exact.
-        let objs: Vec<_> = (0..RELEASE_AT).map(|_| t.malloc(&mut port, 32).unwrap()).collect();
+        let objs: Vec<_> = (0..RELEASE_AT)
+            .map(|_| t.malloc(&mut port, 32).unwrap())
+            .collect();
         // Free everything: crossing RELEASE_AT must migrate objects without
         // losing any (conservation check: we can get them all back).
         for o in &objs {

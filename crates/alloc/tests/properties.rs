@@ -11,7 +11,7 @@
 //!   from a clean state.
 
 use proptest::prelude::*;
-use webmm_alloc::{Allocator, AllocatorKind};
+use webmm_alloc::AllocatorKind;
 use webmm_sim::{Addr, MemoryPort, PlainPort};
 
 /// One step of a random allocation script.
@@ -53,7 +53,11 @@ fn overlaps(a: (u64, u64), b: (u64, u64)) -> bool {
 fn check_invariants(live: &[Live], port: &PlainPort) {
     for (i, x) in live.iter().enumerate() {
         assert!(!x.addr.is_null(), "null address returned");
-        assert!(x.addr.is_aligned(8), "object at {:x} not 8-byte aligned", x.addr);
+        assert!(
+            x.addr.is_aligned(8),
+            "object at {:x} not 8-byte aligned",
+            x.addr
+        );
         assert_eq!(
             port.memory().read_u64(x.addr),
             x.stamp,
@@ -83,12 +87,18 @@ fn run_script(kind: AllocatorKind, ops: &[Op]) {
     for op in ops {
         match op {
             Op::Malloc(size) => {
-                let Ok(addr) = alloc.malloc(&mut port, *size) else { continue };
+                let Ok(addr) = alloc.malloc(&mut port, *size) else {
+                    continue;
+                };
                 stamp_counter += 1;
                 // Stamp the payload (first 8 bytes always fit: size >= 1 is
                 // rounded to >= 8 by every allocator).
                 port.store_u64(addr, stamp_counter);
-                live.push(Live { addr, size: *size, stamp: stamp_counter });
+                live.push(Live {
+                    addr,
+                    size: *size,
+                    stamp: stamp_counter,
+                });
             }
             Op::Free(raw_idx) => {
                 if live.is_empty() || !traits.per_object_free {
@@ -111,7 +121,11 @@ fn run_script(kind: AllocatorKind, ops: &[Op]) {
                 // guarantee min(old_size, new_size) bytes, so compare just
                 // the prefix that every allocator must have copied.
                 let guaranteed = live[idx].size.min(*new_size).min(8);
-                let mask = if guaranteed >= 8 { u64::MAX } else { (1u64 << (8 * guaranteed)) - 1 };
+                let mask = if guaranteed >= 8 {
+                    u64::MAX
+                } else {
+                    (1u64 << (8 * guaranteed)) - 1
+                };
                 live[idx].addr = new_addr;
                 live[idx].size = *new_size;
                 assert_eq!(

@@ -17,7 +17,9 @@ fn bench_malloc_free_churn(c: &mut Criterion) {
             let per_object_free = alloc.alloc_traits().per_object_free;
             let bulk = alloc.alloc_traits().bulk_free;
             // Warm the heap.
-            let warm: Vec<_> = (0..256).map(|_| alloc.malloc(&mut port, 64).unwrap()).collect();
+            let warm: Vec<_> = (0..256)
+                .map(|_| alloc.malloc(&mut port, 64).unwrap())
+                .collect();
             if per_object_free {
                 for a in warm {
                     alloc.free(&mut port, a);
@@ -42,7 +44,11 @@ fn bench_malloc_free_churn(c: &mut Criterion) {
 fn bench_transaction(c: &mut Criterion) {
     let mut group = c.benchmark_group("transaction_1k_objects");
     group.sample_size(20);
-    for kind in [AllocatorKind::PhpDefault, AllocatorKind::Region, AllocatorKind::DdMalloc] {
+    for kind in [
+        AllocatorKind::PhpDefault,
+        AllocatorKind::Region,
+        AllocatorKind::DdMalloc,
+    ] {
         group.bench_with_input(BenchmarkId::from_parameter(kind.id()), &kind, |b, &kind| {
             let mut alloc = kind.build(0);
             let mut port = PlainPort::new();
@@ -71,7 +77,11 @@ fn bench_transaction(c: &mut Criterion) {
 fn bench_free_all(c: &mut Criterion) {
     let mut group = c.benchmark_group("free_all_after_1k");
     group.sample_size(20);
-    for kind in [AllocatorKind::PhpDefault, AllocatorKind::Region, AllocatorKind::DdMalloc] {
+    for kind in [
+        AllocatorKind::PhpDefault,
+        AllocatorKind::Region,
+        AllocatorKind::DdMalloc,
+    ] {
         group.bench_with_input(BenchmarkId::from_parameter(kind.id()), &kind, |b, &kind| {
             let mut alloc = kind.build(0);
             let mut port = PlainPort::new();
@@ -86,5 +96,10 @@ fn bench_free_all(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_malloc_free_churn, bench_transaction, bench_free_all);
+criterion_group!(
+    benches,
+    bench_malloc_free_churn,
+    bench_transaction,
+    bench_free_all
+);
 criterion_main!(benches);

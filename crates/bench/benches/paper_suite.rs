@@ -18,7 +18,10 @@ fn main() {
     if std::env::var("WEBMM_SCALE").is_err() {
         opts.scale = 32; // compact default for `cargo bench`
     }
-    println!("webmm paper suite (scale {}, window {}+{})", opts.scale, opts.warmup, opts.measure);
+    println!(
+        "webmm paper suite (scale {}, window {}+{})",
+        opts.scale, opts.warmup, opts.measure
+    );
 
     fig5_and_friends(&opts);
     fig7(&opts);
@@ -63,8 +66,20 @@ fn fig7(opts: &BenchOpts) {
     for machine in both_machines() {
         print!("[{}]", machine.name);
         for cores in [1u32, 2, 4, 8] {
-            let base = php_run(&machine, AllocatorKind::PhpDefault, mediawiki_read(), cores, opts);
-            let dd = php_run(&machine, AllocatorKind::DdMalloc, mediawiki_read(), cores, opts);
+            let base = php_run(
+                &machine,
+                AllocatorKind::PhpDefault,
+                mediawiki_read(),
+                cores,
+                opts,
+            );
+            let dd = php_run(
+                &machine,
+                AllocatorKind::DdMalloc,
+                mediawiki_read(),
+                cores,
+                opts,
+            );
             print!(
                 "  {}c: dd {:+.1}%",
                 cores,

@@ -16,7 +16,10 @@ use webmm_workload::php_workloads;
 fn main() {
     let opts = BenchOpts::from_env();
     let machine = MachineConfig::xeon_clovertown();
-    print!("{}", heading("Ablation: DDmalloc with 4 MB pages on Xeon (8 cores)"));
+    print!(
+        "{}",
+        heading("Ablation: DDmalloc with 4 MB pages on Xeon (8 cores)")
+    );
     let mut rows = vec![vec![
         "workload".to_string(),
         "dd 4K pages".to_string(),
@@ -30,7 +33,10 @@ fn main() {
             .scale(opts.scale)
             .cores(8)
             .window(opts.warmup, opts.measure)
-            .dd_config(DdConfig { large_pages: true, ..DdConfig::default() });
+            .dd_config(DdConfig {
+                large_pages: true,
+                ..DdConfig::default()
+            });
         let large = cached_run(&machine, &cfg, &opts);
         let n = |r: &webmm_runtime::RunResult| {
             r.total_events().total().dtlb_misses as f64

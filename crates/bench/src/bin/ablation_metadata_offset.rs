@@ -15,7 +15,10 @@ use webmm_workload::mediawiki_read;
 
 fn main() {
     let opts = BenchOpts::from_env();
-    print!("{}", heading("Ablation: DDmalloc metadata placement offset (MediaWiki r/o, 8 cores)"));
+    print!(
+        "{}",
+        heading("Ablation: DDmalloc metadata placement offset (MediaWiki r/o, 8 cores)")
+    );
     let mut rows = vec![vec![
         "machine".to_string(),
         "offset".to_string(),
@@ -23,7 +26,10 @@ fn main() {
         "L1D miss/tx".to_string(),
         "L2 miss/tx".to_string(),
     ]];
-    for machine in [MachineConfig::xeon_clovertown(), MachineConfig::niagara_t1()] {
+    for machine in [
+        MachineConfig::xeon_clovertown(),
+        MachineConfig::niagara_t1(),
+    ] {
         for offset in [true, false] {
             let cfg = RunConfig::new(AllocatorKind::DdMalloc, mediawiki_read())
                 .scale(opts.scale)

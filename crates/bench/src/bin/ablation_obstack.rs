@@ -16,7 +16,10 @@ use webmm_workload::php_workloads;
 fn main() {
     let opts = BenchOpts::from_env();
     let machine = MachineConfig::xeon_clovertown();
-    print!("{}", heading("Ablation: GNU obstack vs 256 MB region allocator (8 Xeon cores)"));
+    print!(
+        "{}",
+        heading("Ablation: GNU obstack vs 256 MB region allocator (8 Xeon cores)")
+    );
     let mut rows = vec![vec![
         "workload".to_string(),
         "region tx/s".to_string(),
@@ -28,8 +31,7 @@ fn main() {
         let region = php_run(&machine, AllocatorKind::Region, wl.clone(), 8, &opts);
         let obstack = php_run(&machine, AllocatorKind::Obstack, wl.clone(), 8, &opts);
         let n = |r: &webmm_runtime::RunResult| {
-            r.total_events().mm.instructions as f64
-                / (r.measured_tx as f64 * r.events.len() as f64)
+            r.total_events().mm.instructions as f64 / (r.measured_tx as f64 * r.events.len() as f64)
         };
         rows.push(vec![
             wl.name.to_string(),

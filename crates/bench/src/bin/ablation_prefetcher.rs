@@ -28,7 +28,10 @@ fn main() {
     ]];
     for (label, machine) in [
         ("enabled", MachineConfig::xeon_clovertown()),
-        ("disabled", MachineConfig::xeon_clovertown().without_prefetcher()),
+        (
+            "disabled",
+            MachineConfig::xeon_clovertown().without_prefetcher(),
+        ),
     ] {
         let base = cached_run(
             &machine,

@@ -15,7 +15,10 @@ use webmm_workload::mediawiki_read;
 fn main() {
     let opts = BenchOpts::from_env();
     let machine = MachineConfig::xeon_clovertown();
-    print!("{}", heading("Ablation: DDmalloc segment size (MediaWiki r/o, 8 Xeon cores)"));
+    print!(
+        "{}",
+        heading("Ablation: DDmalloc segment size (MediaWiki r/o, 8 Xeon cores)")
+    );
     let mut rows = vec![vec![
         "segment".to_string(),
         "tx/s".to_string(),

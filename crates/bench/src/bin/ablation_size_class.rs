@@ -16,7 +16,10 @@ use webmm_workload::mediawiki_read;
 fn main() {
     let opts = BenchOpts::from_env();
     let machine = MachineConfig::xeon_clovertown();
-    print!("{}", heading("Ablation: DDmalloc size-class mapping (MediaWiki r/o, 8 Xeon cores)"));
+    print!(
+        "{}",
+        heading("Ablation: DDmalloc size-class mapping (MediaWiki r/o, 8 Xeon cores)")
+    );
     let mut rows = vec![vec![
         "mapping".to_string(),
         "tx/s".to_string(),
@@ -33,7 +36,10 @@ fn main() {
             .scale(opts.scale)
             .cores(8)
             .window(opts.warmup, opts.measure)
-            .dd_config(DdConfig { mapping, ..DdConfig::default() });
+            .dd_config(DdConfig {
+                mapping,
+                ..DdConfig::default()
+            });
         let r = cached_run(&machine, &cfg, &opts);
         let n = (r.measured_tx * r.events.len() as u64) as f64;
         rows.push(vec![

@@ -13,7 +13,10 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(32);
-    for machine in [MachineConfig::xeon_clovertown(), MachineConfig::niagara_t1()] {
+    for machine in [
+        MachineConfig::xeon_clovertown(),
+        MachineConfig::niagara_t1(),
+    ] {
         for wl in [mediawiki_read(), phpbb()] {
             report(&machine, &wl, scale);
         }

@@ -24,10 +24,18 @@ fn main() {
         if only.as_deref().is_some_and(|o| o != kind.id()) {
             continue;
         }
-        let cfg = RunConfig::new(kind, wl.clone()).scale(scale).cores(cores).window(2, 4);
+        let cfg = RunConfig::new(kind, wl.clone())
+            .scale(scale)
+            .cores(cores)
+            .window(2, 4);
         let r = run(&machine, &cfg);
-        println!("{:12} footprint heap {} KB meta {} KB peak_tx {} KB", r.allocator_id,
-            r.footprint.heap_bytes/1024, r.footprint.metadata_bytes/1024, r.footprint.peak_tx_alloc_bytes/1024);
+        println!(
+            "{:12} footprint heap {} KB meta {} KB peak_tx {} KB",
+            r.allocator_id,
+            r.footprint.heap_bytes / 1024,
+            r.footprint.metadata_bytes / 1024,
+            r.footprint.peak_tx_alloc_bytes / 1024
+        );
         let total = r.total_events();
         let n = (r.measured_tx * r.events.len() as u64) as f64;
         for (label, ev) in [("mm ", total.mm), ("app", total.app)] {

@@ -106,7 +106,14 @@ fn run_gc(machine: &MachineConfig, nursery_bytes: u64, scale: u32) -> (f64, f64,
                 webmm_sim::CodeSpec::new(768 * 1024, 12 * 1024),
             );
             let stream = TxStream::new(mediawiki_read(), scale, 42 ^ pid as u64);
-            (mem, code, stream, None::<Nursery>, std::collections::HashMap::new(), 0u64)
+            (
+                mem,
+                code,
+                stream,
+                None::<Nursery>,
+                std::collections::HashMap::new(),
+                0u64,
+            )
         })
         .collect();
 
@@ -114,8 +121,8 @@ fn run_gc(machine: &MachineConfig, nursery_bytes: u64, scale: u32) -> (f64, f64,
     let target_tx = 6u64;
     loop {
         let mut all_done = true;
-        for ctx in 0..contexts {
-            let (mem, code, stream, nursery, live, done) = &mut procs[ctx];
+        for (ctx, proc) in procs.iter_mut().enumerate() {
+            let (mem, code, stream, nursery, live, done) = proc;
             if *done >= target_tx {
                 continue;
             }
@@ -193,17 +200,24 @@ fn run_gc(machine: &MachineConfig, nursery_bytes: u64, scale: u32) -> (f64, f64,
     // Events → throughput via the same fixed point as the main study.
     let events: Vec<_> = (0..contexts).map(|c| *hier.counters(c)).collect();
     let t = webmm_runtime::solve(machine, &events, target_tx, machine.cores);
-    let collections: u64 = procs.iter().map(|p| p.3.as_ref().map_or(0, |n| n.collections)).sum();
+    let collections: u64 = procs
+        .iter()
+        .map(|p| p.3.as_ref().map_or(0, |n| n.collections))
+        .sum();
     (t.tx_per_sec, t.bus_utilization, collections)
 }
 
 fn main() {
-    let scale: u32 =
-        std::env::var("WEBMM_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(32);
+    let scale: u32 = std::env::var("WEBMM_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(32);
     let machine = MachineConfig::xeon_clovertown();
     print!(
         "{}",
-        heading("§5 discussion: a copying-GC nursery on 8 Xeon cores (MediaWiki r/o, MicroPhase sweep)")
+        heading(
+            "§5 discussion: a copying-GC nursery on 8 Xeon cores (MediaWiki r/o, MicroPhase sweep)"
+        )
     );
     let mut rows = vec![vec![
         "nursery".to_string(),

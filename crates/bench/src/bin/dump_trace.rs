@@ -13,8 +13,14 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let Some(spec) = args.get(1).and_then(|n| by_name(n)) else {
         eprintln!("usage: dump_trace <workload> [transactions] [scale] [seed]");
-        eprintln!("workloads: {}", webmm_workload::php_workloads()
-            .iter().map(|w| format!("{:?}", w.name)).collect::<Vec<_>>().join(", "));
+        eprintln!(
+            "workloads: {}",
+            webmm_workload::php_workloads()
+                .iter()
+                .map(|w| format!("{:?}", w.name))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
         std::process::exit(2);
     };
     let transactions: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1);

@@ -8,8 +8,8 @@
 
 use webmm_alloc::AllocatorKind;
 use webmm_bench::{php_run, BenchOpts};
-use webmm_profiler::report::{bar, heading};
 use webmm_profiler::breakdown;
+use webmm_profiler::report::{bar, heading};
 use webmm_sim::MachineConfig;
 use webmm_workload::mediawiki_read;
 
@@ -21,7 +21,13 @@ fn main() {
         heading("Figure 1: normalized CPU time per transaction (MediaWiki, 8 Xeon cores)")
     );
 
-    let base = php_run(&machine, AllocatorKind::PhpDefault, mediawiki_read(), 8, &opts);
+    let base = php_run(
+        &machine,
+        AllocatorKind::PhpDefault,
+        mediawiki_read(),
+        8,
+        &opts,
+    );
     let region = php_run(&machine, AllocatorKind::Region, mediawiki_read(), 8, &opts);
     let base_b = breakdown(&base);
     let reg_b = breakdown(&region);

@@ -49,12 +49,25 @@ fn main() {
             AllocatorKind::DdMalloc => format!("(+{:.1}%)", paper::FIG10_DD_OVER_GLIBC),
             _ => "-".to_string(),
         };
-        rows.push(vec![r.allocator.clone(), format!("{tps:8.1}"), rel(tps, b), published]);
+        rows.push(vec![
+            r.allocator.clone(),
+            format!("{tps:8.1}"),
+            rel(tps, b),
+            published,
+        ]);
         results.push((kind, tps));
     }
     print!("{}", table(&rows));
-    let dd = results.iter().find(|(k, _)| *k == AllocatorKind::DdMalloc).expect("dd ran").1;
-    let tc = results.iter().find(|(k, _)| *k == AllocatorKind::TcMalloc).expect("tc ran").1;
+    let dd = results
+        .iter()
+        .find(|(k, _)| *k == AllocatorKind::DdMalloc)
+        .expect("dd ran")
+        .1;
+    let tc = results
+        .iter()
+        .find(|(k, _)| *k == AllocatorKind::TcMalloc)
+        .expect("tc ran")
+        .1;
     println!(
         "\nDDmalloc over TCmalloc: {:+.1}% (paper: +{:.1}%)",
         (dd / tc - 1.0) * 100.0,

@@ -30,8 +30,7 @@ fn main() {
             let mut row = vec![wl.name.to_string()];
             for kind in [AllocatorKind::Region, AllocatorKind::DdMalloc] {
                 let r = php_run(&machine, kind, wl.clone(), 8, &opts);
-                let relative =
-                    (r.throughput.tx_per_sec / base.throughput.tx_per_sec - 1.0) * 100.0;
+                let relative = (r.throughput.tx_per_sec / base.throughput.tx_per_sec - 1.0) * 100.0;
                 let published = paper::fig5_relative(wl.name, kind.id(), xeon, true)
                     .map_or("-".to_string(), |v| format!("{v:+.1}%"));
                 row.push(format!("{relative:+.1}%"));

@@ -27,7 +27,13 @@ fn main() {
     let mut region_cuts = Vec::new();
     let mut dd_cuts = Vec::new();
     for wl in php_workloads() {
-        let base = breakdown(&php_run(&machine, AllocatorKind::PhpDefault, wl.clone(), 8, &opts));
+        let base = breakdown(&php_run(
+            &machine,
+            AllocatorKind::PhpDefault,
+            wl.clone(),
+            8,
+            &opts,
+        ));
         let norm = base.total() / 100.0;
         for kind in AllocatorKind::PHP_STUDY {
             let b = breakdown(&php_run(&machine, kind, wl.clone(), 8, &opts));

@@ -24,10 +24,13 @@ fn main() {
     opts.warmup = 1;
     opts.measure = 2;
     let machine = MachineConfig::xeon_clovertown();
-    print!("{}", heading(&format!(
-        "Figure 9: memory consumed during transactions (8 Xeon cores, scale 1/{})",
-        opts.scale
-    )));
+    print!(
+        "{}",
+        heading(&format!(
+            "Figure 9: memory consumed during transactions (8 Xeon cores, scale 1/{})",
+            opts.scale
+        ))
+    );
     let mut rows = vec![vec![
         "workload".to_string(),
         "default".to_string(),
@@ -46,12 +49,20 @@ fn main() {
             8,
             &opts,
         )) as f64;
-        let reg =
-            memory_consumption(&php_run(&machine, AllocatorKind::Region, wl.clone(), 8, &opts))
-                as f64;
-        let dd =
-            memory_consumption(&php_run(&machine, AllocatorKind::DdMalloc, wl.clone(), 8, &opts))
-                as f64;
+        let reg = memory_consumption(&php_run(
+            &machine,
+            AllocatorKind::Region,
+            wl.clone(),
+            8,
+            &opts,
+        )) as f64;
+        let dd = memory_consumption(&php_run(
+            &machine,
+            AllocatorKind::DdMalloc,
+            wl.clone(),
+            8,
+            &opts,
+        )) as f64;
         region_ratios.push(reg / base);
         dd_ratios.push(dd / base);
         rows.push(vec![
@@ -74,5 +85,8 @@ fn main() {
         avg(&dd_ratios),
         paper::FIG9_DD_RATIO_AVG,
     );
-    println!("note: consumption is per transaction scaled by 1/{}; ratios are scale-free.", opts.scale);
+    println!(
+        "note: consumption is per transaction scaled by 1/{}; ratios are scale-free.",
+        opts.scale
+    );
 }

@@ -1,0 +1,177 @@
+//! Native shootout: the paper's allocators on real threads.
+//!
+//! Sweeps worker count × allocator family through the `webmm-server`
+//! native serving harness — actual OS threads, one heap per worker, a
+//! bounded ingress queue — and reports wall-clock throughput and
+//! admission-to-completion latency quantiles. The companion to the
+//! simulated Figure 5 sweep: where `fig5` predicts scaling from the bus
+//! model, this measures the allocators' real single-thread costs and
+//! scheduling behaviour on the host.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p webmm-bench --bin native_shootout -- \
+//!     --workers 4 --tx 10000 [--scale 1024] [--seed 42] \
+//!     [--policy block|reject|shed-oldest] [--capacity 128] \
+//!     [--out BENCH_native.json]
+//! ```
+//!
+//! Writes every cell of the sweep to `BENCH_native.json`
+//! (allocator, workers, tx_per_sec, p50/p95/p99 ns).
+
+use webmm_alloc::AllocatorKind;
+use webmm_profiler::report::{heading, table};
+use webmm_server::{drive_closed, AdmissionPolicy, Server, ServerConfig, TxFactory};
+use webmm_workload::phpbb;
+
+/// One cell of the sweep, as serialized into `BENCH_native.json`.
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
+struct NativeBenchEntry {
+    allocator: String,
+    workers: u64,
+    tx_per_sec: f64,
+    p50_ns: u64,
+    p95_ns: u64,
+    p99_ns: u64,
+    completed: u64,
+    shed: u64,
+}
+
+struct Args {
+    workers: usize,
+    tx: u64,
+    scale: u32,
+    seed: u64,
+    policy: AdmissionPolicy,
+    capacity: usize,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        workers: 4,
+        tx: 10_000,
+        scale: 1024,
+        seed: 42,
+        policy: AdmissionPolicy::Block,
+        capacity: 128,
+        out: "BENCH_native.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {flag}");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--workers" => args.workers = value().parse().expect("--workers takes a count"),
+            "--tx" => args.tx = value().parse().expect("--tx takes a count"),
+            "--scale" => args.scale = value().parse().expect("--scale takes a divisor"),
+            "--seed" => args.seed = value().parse().expect("--seed takes a u64"),
+            "--capacity" => args.capacity = value().parse().expect("--capacity takes a count"),
+            "--policy" => {
+                let v = value();
+                args.policy = AdmissionPolicy::from_id(&v).unwrap_or_else(|| {
+                    eprintln!("unknown policy `{v}` (block|reject|shed-oldest)");
+                    std::process::exit(2);
+                });
+            }
+            "--out" => args.out = value(),
+            other => {
+                eprintln!("unknown flag `{other}`");
+                eprintln!(
+                    "usage: native_shootout [--workers N] [--tx N] [--scale N] [--seed N] \
+                     [--policy block|reject|shed-oldest] [--capacity N] [--out FILE]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// Worker counts to sweep: powers of two up to the requested maximum,
+/// always including the maximum itself.
+fn sweep_points(max: usize) -> Vec<usize> {
+    let mut points: Vec<usize> = std::iter::successors(Some(1usize), |w| Some(w * 2))
+        .take_while(|w| *w < max)
+        .collect();
+    points.push(max);
+    points
+}
+
+fn main() {
+    let args = parse_args();
+    print!(
+        "{}",
+        heading(&format!(
+            "Native shootout: phpBB, {} tx/cell, scale 1/{}, policy {}",
+            args.tx,
+            args.scale,
+            args.policy.id()
+        ))
+    );
+
+    let mut rows = vec![vec![
+        "allocator".to_string(),
+        "workers".to_string(),
+        "tx/s".to_string(),
+        "p50 us".to_string(),
+        "p95 us".to_string(),
+        "p99 us".to_string(),
+        "shed".to_string(),
+    ]];
+    let mut entries = Vec::new();
+    for kind in AllocatorKind::PHP_STUDY {
+        for workers in sweep_points(args.workers) {
+            let server = Server::start(ServerConfig {
+                kind,
+                workers,
+                queue_capacity: args.capacity,
+                policy: args.policy,
+                static_bytes: 2 << 20,
+            });
+            let factory = TxFactory::new(phpbb(), args.scale, args.seed);
+            let clients = (workers * 2).max(2);
+            drive_closed(&server, factory, args.tx, clients);
+            let report = server.finish();
+            assert_eq!(
+                report.completed + report.shed,
+                report.submitted,
+                "accounting identity broken for {kind} @ {workers} workers"
+            );
+            rows.push(vec![
+                report.allocator.clone(),
+                format!("{workers}"),
+                format!("{:10.1}", report.tx_per_sec),
+                format!("{:8.1}", report.latency.p50_ns as f64 / 1e3),
+                format!("{:8.1}", report.latency.p95_ns as f64 / 1e3),
+                format!("{:8.1}", report.latency.p99_ns as f64 / 1e3),
+                format!("{}", report.shed),
+            ]);
+            entries.push(NativeBenchEntry {
+                allocator: report.allocator.clone(),
+                workers: report.workers,
+                tx_per_sec: report.tx_per_sec,
+                p50_ns: report.latency.p50_ns,
+                p95_ns: report.latency.p95_ns,
+                p99_ns: report.latency.p99_ns,
+                completed: report.completed,
+                shed: report.shed,
+            });
+        }
+    }
+    print!("{}", table(&rows));
+
+    let json = serde_json::to_string_pretty(&entries).expect("entries serialize");
+    std::fs::write(&args.out, json).unwrap_or_else(|e| {
+        eprintln!("cannot write {}: {e}", args.out);
+        std::process::exit(1);
+    });
+    println!("\nwrote {} cells to {}", entries.len(), args.out);
+    println!("note: native numbers measure real host execution; see README");
+    println!("\"Simulated vs native measurement\" for how they relate to fig5.");
+}

@@ -6,7 +6,10 @@ use webmm_alloc::AllocatorKind;
 use webmm_profiler::report::{heading, table};
 
 fn main() {
-    print!("{}", heading("Table 1: allocation approaches for transaction-scoped objects"));
+    print!(
+        "{}",
+        heading("Table 1: allocation approaches for transaction-scoped objects")
+    );
     let mut rows = vec![vec![
         "type of allocator".to_string(),
         "bulk free".to_string(),

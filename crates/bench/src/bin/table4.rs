@@ -15,7 +15,10 @@ fn main() {
     let opts = BenchOpts::from_env();
     for machine in both_machines() {
         let xeon = machine.prefetch.is_some();
-        print!("{}", heading(&format!("Table 4: speedups with 8 cores, {}", machine.name)));
+        print!(
+            "{}",
+            heading(&format!("Table 4: speedups with 8 cores, {}", machine.name))
+        );
         let mut rows = vec![vec![
             "workload".to_string(),
             "allocator".to_string(),

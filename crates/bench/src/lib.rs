@@ -38,7 +38,12 @@ pub struct BenchOpts {
 
 impl Default for BenchOpts {
     fn default() -> Self {
-        BenchOpts { scale: 16, warmup: 2, measure: 4, no_cache: false }
+        BenchOpts {
+            scale: 16,
+            warmup: 2,
+            measure: 4,
+            no_cache: false,
+        }
     }
 }
 
@@ -92,7 +97,8 @@ fn cache_key(machine: &MachineConfig, cfg: &RunConfig) -> String {
         cfg.scale,
         cfg.warmup_tx,
         cfg.measure_tx,
-        cfg.restart_every.map_or("none".to_string(), |n| n.to_string()),
+        cfg.restart_every
+            .map_or("none".to_string(), |n| n.to_string()),
         if cfg.use_free_all { "fa" } else { "nofa" },
         cfg.allocator
             .dd_override
@@ -147,5 +153,8 @@ pub fn php_run(
 
 /// The two platforms, in the paper's order.
 pub fn both_machines() -> [MachineConfig; 2] {
-    [MachineConfig::xeon_clovertown(), MachineConfig::niagara_t1()]
+    [
+        MachineConfig::xeon_clovertown(),
+        MachineConfig::niagara_t1(),
+    ]
 }

@@ -24,10 +24,31 @@ pub struct Table4Entry {
 
 /// The paper's Table 4, verbatim.
 pub const TABLE4: &[Table4Entry] = &[
-    e("MediaWiki (read only)", "php-default", 25.3, 156.6, 14.9, 111.0),
+    e(
+        "MediaWiki (read only)",
+        "php-default",
+        25.3,
+        156.6,
+        14.9,
+        111.0,
+    ),
     e("MediaWiki (read only)", "region", 26.4, 145.7, 16.5, 113.3),
-    e("MediaWiki (read only)", "ddmalloc", 26.4, 167.9, 16.5, 122.2),
-    e("MediaWiki (read/write)", "php-default", 11.7, 79.6, 5.2, 40.0),
+    e(
+        "MediaWiki (read only)",
+        "ddmalloc",
+        26.4,
+        167.9,
+        16.5,
+        122.2,
+    ),
+    e(
+        "MediaWiki (read/write)",
+        "php-default",
+        11.7,
+        79.6,
+        5.2,
+        40.0,
+    ),
     e("MediaWiki (read/write)", "region", 12.5, 59.7, 5.5, 39.6),
     e("MediaWiki (read/write)", "ddmalloc", 12.7, 85.5, 5.6, 43.5),
     e("SugarCRM", "php-default", 19.4, 134.6, 8.1, 64.4),
@@ -55,17 +76,31 @@ const fn e(
     niagara_1c: f64,
     niagara_8c: f64,
 ) -> Table4Entry {
-    Table4Entry { workload, allocator, xeon_1c, xeon_8c, niagara_1c, niagara_8c }
+    Table4Entry {
+        workload,
+        allocator,
+        xeon_1c,
+        xeon_8c,
+        niagara_1c,
+        niagara_8c,
+    }
 }
 
 /// Looks up a Table 4 entry.
 pub fn table4(workload: &str, allocator: &str) -> Option<&'static Table4Entry> {
-    TABLE4.iter().find(|t| t.workload == workload && t.allocator == allocator)
+    TABLE4
+        .iter()
+        .find(|t| t.workload == workload && t.allocator == allocator)
 }
 
 /// Relative throughput over the default allocator at the paper's scale,
 /// in percent — the series Figure 5 plots.
-pub fn fig5_relative(workload: &str, allocator: &str, xeon: bool, eight_cores: bool) -> Option<f64> {
+pub fn fig5_relative(
+    workload: &str,
+    allocator: &str,
+    xeon: bool,
+    eight_cores: bool,
+) -> Option<f64> {
     let ours = table4(workload, allocator)?;
     let base = table4(workload, "php-default")?;
     let (o, b) = match (xeon, eight_cores) {

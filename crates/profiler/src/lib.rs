@@ -100,8 +100,14 @@ fn pct_change(ours: f64, base: f64) -> f64 {
 ///
 /// Panics if the two runs used different workloads or machines.
 pub fn event_deltas(result: &RunResult, baseline: &RunResult) -> EventDeltas {
-    assert_eq!(result.workload, baseline.workload, "delta across different workloads");
-    assert_eq!(result.machine, baseline.machine, "delta across different machines");
+    assert_eq!(
+        result.workload, baseline.workload,
+        "delta across different workloads"
+    );
+    assert_eq!(
+        result.machine, baseline.machine,
+        "delta across different machines"
+    );
     let per_tx = |r: &RunResult, f: &dyn Fn(&webmm_sim::EventCounts) -> u64| {
         let t = r.total_events().total();
         f(&t) as f64 / (r.measured_tx as f64 * r.events.len() as f64)
@@ -123,8 +129,14 @@ pub fn event_deltas(result: &RunResult, baseline: &RunResult) -> EventDeltas {
             per_tx(result, &|e| e.dtlb_misses),
             per_tx(baseline, &|e| e.dtlb_misses),
         ),
-        l2_misses: pct_change(per_tx(result, &|e| e.l2_misses), per_tx(baseline, &|e| e.l2_misses)),
-        bus_txns: pct_change(per_tx(result, &|e| e.bus_txns), per_tx(baseline, &|e| e.bus_txns)),
+        l2_misses: pct_change(
+            per_tx(result, &|e| e.l2_misses),
+            per_tx(baseline, &|e| e.l2_misses),
+        ),
+        bus_txns: pct_change(
+            per_tx(result, &|e| e.bus_txns),
+            per_tx(baseline, &|e| e.bus_txns),
+        ),
     }
 }
 
@@ -155,14 +167,24 @@ mod tests {
 
     fn quick(kind: AllocatorKind) -> RunResult {
         let machine = MachineConfig::xeon_clovertown();
-        run(&machine, &RunConfig::new(kind, phpbb()).scale(64).cores(1).window(1, 2))
+        run(
+            &machine,
+            &RunConfig::new(kind, phpbb())
+                .scale(64)
+                .cores(1)
+                .window(1, 2),
+        )
     }
 
     #[test]
     fn breakdown_shares_are_sane() {
         let b = breakdown(&quick(AllocatorKind::PhpDefault));
         assert!(b.total() > 0.0);
-        assert!(b.mm_share() > 0.02 && b.mm_share() < 0.6, "mm share {}", b.mm_share());
+        assert!(
+            b.mm_share() > 0.02 && b.mm_share() < 0.6,
+            "mm share {}",
+            b.mm_share()
+        );
     }
 
     #[test]
@@ -173,7 +195,10 @@ mod tests {
         let dd = breakdown(&quick(AllocatorKind::DdMalloc));
         let reg_cut = 1.0 - reg.mm_cycles / base.mm_cycles;
         let dd_cut = 1.0 - dd.mm_cycles / base.mm_cycles;
-        assert!(reg_cut > dd_cut, "region must cut more ({reg_cut} vs {dd_cut})");
+        assert!(
+            reg_cut > dd_cut,
+            "region must cut more ({reg_cut} vs {dd_cut})"
+        );
         assert!(reg_cut > 0.7, "region mm cut {reg_cut}");
         assert!((0.3..0.9).contains(&dd_cut), "dd mm cut {dd_cut}");
     }
@@ -214,7 +239,10 @@ mod tests {
         let machine = MachineConfig::xeon_clovertown();
         let a = run(
             &machine,
-            &RunConfig::new(AllocatorKind::PhpDefault, phpbb()).scale(64).cores(1).window(0, 1),
+            &RunConfig::new(AllocatorKind::PhpDefault, phpbb())
+                .scale(64)
+                .cores(1)
+                .window(0, 1),
         );
         let b = run(
             &machine,

@@ -67,7 +67,12 @@ pub fn bar(value: f64, max_value: f64, width: usize) -> String {
     if value >= 0.0 {
         format!("|{}{}", "#".repeat(filled), " ".repeat(width - filled))
     } else {
-        format!("{}{}|{}", " ".repeat(width - filled), "#".repeat(filled), " ".repeat(width))
+        format!(
+            "{}{}|{}",
+            " ".repeat(width - filled),
+            "#".repeat(filled),
+            " ".repeat(width)
+        )
     }
 }
 

@@ -10,10 +10,10 @@
 
 use crate::process::{AllocatorSpec, Process, StepEvent};
 use crate::throughput::{solve, Throughput};
+use serde::Serialize;
 use webmm_alloc::{AllocatorKind, DdConfig, Footprint};
 use webmm_sim::{CategorizedCounts, MachineConfig, MemHierarchy};
 use webmm_workload::WorkloadSpec;
-use serde::Serialize;
 
 /// Operations executed per context before rotating to the next (the
 /// interleaving granularity; fine enough that contexts genuinely share the
@@ -152,7 +152,10 @@ impl RunResult {
 /// methodology; L1s and TLBs are left alone because they serve the
 /// *churn* working set, which does not grow with transaction length.
 fn scaled_machine(machine: &MachineConfig, scale: u32) -> MachineConfig {
-    assert!(scale.is_power_of_two(), "scale must be a power of two (cache sampling)");
+    assert!(
+        scale.is_power_of_two(),
+        "scale must be a power of two (cache sampling)"
+    );
     if scale == 1 {
         return machine.clone();
     }
@@ -221,8 +224,10 @@ pub fn run(machine: &MachineConfig, cfg: &RunConfig) -> RunResult {
         && allocator.dd_override.is_none()
         && machine.os_large_pages
     {
-        allocator.dd_override =
-            Some(DdConfig { large_pages: true, ..DdConfig::default() });
+        allocator.dd_override = Some(DdConfig {
+            large_pages: true,
+            ..DdConfig::default()
+        });
     }
     let contexts = (cfg.active_cores * machine.threads_per_core) as usize;
     let mut hier = MemHierarchy::new(machine);
@@ -267,7 +272,10 @@ pub fn run(machine: &MachineConfig, cfg: &RunConfig) -> RunResult {
     // (for interference) until all are done — but its own counters are
     // snapshotted the moment it finishes.
     hier.reset_counters();
-    let target: Vec<u64> = procs.iter().map(|p| p.transactions() + cfg.measure_tx).collect();
+    let target: Vec<u64> = procs
+        .iter()
+        .map(|p| p.transactions() + cfg.measure_tx)
+        .collect();
     let mut snapshot: Vec<Option<CategorizedCounts>> = vec![None; contexts];
     while snapshot.iter().any(|s| s.is_none()) {
         for ctx in 0..contexts {
@@ -284,8 +292,10 @@ pub fn run(machine: &MachineConfig, cfg: &RunConfig) -> RunResult {
             }
         }
     }
-    let events: Vec<CategorizedCounts> =
-        snapshot.into_iter().map(|s| s.expect("all contexts measured")).collect();
+    let events: Vec<CategorizedCounts> = snapshot
+        .into_iter()
+        .map(|s| s.expect("all contexts measured"))
+        .collect();
 
     let footprint = procs
         .iter()
@@ -342,7 +352,10 @@ mod tests {
         };
         let one = mk(1);
         let four = mk(4);
-        assert!(four > 2.0 * one, "4 cores ({four}) must beat 1 core ({one}) by >2x");
+        assert!(
+            four > 2.0 * one,
+            "4 cores ({four}) must beat 1 core ({one}) by >2x"
+        );
     }
 
     #[test]

@@ -8,16 +8,19 @@
 //! [`ContextPort`], so the multicore engine can interleave many processes
 //! through the shared memory hierarchy.
 
+use std::collections::HashMap;
 use webmm_alloc::{Allocator, AllocatorKind, DdConfig, DdMalloc, Footprint};
 use webmm_sim::{
     Addr, Category, CodeRegionId, CodeSpec, ContextPort, MemHierarchy, MemoryPort, ProcessMem,
 };
 use webmm_workload::{TxStream, WorkOp, WorkloadSpec};
-use std::collections::HashMap;
 
 /// Application (interpreter) code footprint: PHP/Ruby interpreters are
 /// hundreds of KB of code with a much smaller hot loop.
-const APP_CODE: CodeSpec = CodeSpec { len: 768 * 1024, hot_len: 12 * 1024 };
+const APP_CODE: CodeSpec = CodeSpec {
+    len: 768 * 1024,
+    hot_len: 12 * 1024,
+};
 
 /// Fixed address of the interpreter text, mapped shared by every process
 /// (the same binary, held once in shared caches).
@@ -57,7 +60,10 @@ pub struct AllocatorSpec {
 impl AllocatorSpec {
     /// Plain default-configured allocator of `kind`.
     pub fn new(kind: AllocatorKind) -> Self {
-        AllocatorSpec { kind, dd_override: None }
+        AllocatorSpec {
+            kind,
+            dd_override: None,
+        }
     }
 
     /// Builds an allocator instance for process `pid`.
@@ -223,7 +229,10 @@ impl Process {
                 StepEvent::Op
             }
             WorkOp::Free { id } => {
-                let (addr, _) = self.objects.remove(&id).expect("stream frees only live ids");
+                let (addr, _) = self
+                    .objects
+                    .remove(&id)
+                    .expect("stream frees only live ids");
                 if self.alloc.alloc_traits().per_object_free {
                     self.alloc.free(&mut port, addr);
                 }
@@ -273,9 +282,14 @@ impl Process {
                     self.peak_footprint.heap_bytes = fp.heap_bytes;
                     self.peak_footprint.metadata_bytes = fp.metadata_bytes;
                 }
-                self.peak_footprint.peak_tx_alloc_bytes =
-                    self.peak_footprint.peak_tx_alloc_bytes.max(fp.peak_tx_alloc_bytes);
-                if self.restart_every.is_some_and(|n| self.tx_since_restart >= n) {
+                self.peak_footprint.peak_tx_alloc_bytes = self
+                    .peak_footprint
+                    .peak_tx_alloc_bytes
+                    .max(fp.peak_tx_alloc_bytes);
+                if self
+                    .restart_every
+                    .is_some_and(|n| self.tx_since_restart >= n)
+                {
                     self.restart();
                     StepEvent::TxDoneRestarted
                 } else {
@@ -292,7 +306,9 @@ impl Process {
     fn restart(&mut self) {
         self.generation += 1;
         self.mem = ProcessMem::new(Self::base(self.pid, self.generation));
-        self.app_code = self.mem.register_code_at(Addr::new(APP_CODE_BASE), APP_CODE);
+        self.app_code = self
+            .mem
+            .register_code_at(Addr::new(APP_CODE_BASE), APP_CODE);
         let spec = self.stream.spec().clone();
         self.static_base = Addr::new(STATIC_BASE);
         self.alloc = self.alloc_spec.build(self.pid);
@@ -328,14 +344,7 @@ mod tests {
         let machine = MachineConfig::xeon_clovertown();
         for kind in AllocatorKind::PHP_STUDY {
             let mut hier = MemHierarchy::new(&machine);
-            let mut proc = Process::new(
-                0,
-                AllocatorSpec::new(kind),
-                phpbb(),
-                64,
-                42,
-                None,
-            );
+            let mut proc = Process::new(0, AllocatorSpec::new(kind), phpbb(), 64, 42, None);
             let txs = run_ops(&mut proc, &mut hier, 20_000);
             assert!(txs >= 2, "{kind}: expected at least 2 transactions");
             assert_eq!(proc.transactions(), txs);
@@ -413,8 +422,7 @@ mod tests {
         let machine = MachineConfig::xeon_clovertown();
         let share = |kind: AllocatorKind| {
             let mut hier = MemHierarchy::new(&machine);
-            let mut proc =
-                Process::new(0, AllocatorSpec::new(kind), phpbb(), 64, 42, None);
+            let mut proc = Process::new(0, AllocatorSpec::new(kind), phpbb(), 64, 42, None);
             run_ops(&mut proc, &mut hier, 30_000);
             let c = hier.counters(0);
             c.mm.instructions as f64 / (c.mm.instructions + c.app.instructions) as f64

@@ -163,7 +163,10 @@ mod tests {
         let tl = solve(&m, &light, 10, 8);
         assert!(th.bus_utilization > 0.4, "rho = {}", th.bus_utilization);
         assert!(th.latency_factor > 1.5, "factor = {}", th.latency_factor);
-        assert!(th.tx_per_sec < tl.tx_per_sec / 10.0, "stalls dominate throughput");
+        assert!(
+            th.tx_per_sec < tl.tx_per_sec / 10.0,
+            "stalls dominate throughput"
+        );
         assert!(tl.latency_factor < 1.05);
     }
 

@@ -1,0 +1,203 @@
+//! Log2-bucketed latency histogram.
+//!
+//! Service latencies span five-plus decades (a shed transaction completes
+//! in microseconds; a queue-delayed one can take milliseconds), so fixed
+//! buckets either blur the head or truncate the tail. Power-of-two buckets
+//! give constant *relative* resolution (every estimate is within 2× of
+//! truth, tightened below by linear interpolation inside the bucket) with
+//! 64 counters and branch-free recording — cheap enough to live on the
+//! worker's completion path.
+
+/// Histogram of nanosecond latencies in 64 power-of-two buckets.
+///
+/// Bucket `i` holds values whose highest set bit is `i`, i.e. the range
+/// `[2^i, 2^(i+1))`; bucket 0 holds 0 and 1 ns. Quantiles interpolate
+/// linearly within the selected bucket.
+#[derive(Clone, Debug)]
+pub struct LatencyHistogram {
+    buckets: [u64; 64],
+    count: u64,
+    sum_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: [0; 64],
+            count: 0,
+            sum_ns: 0,
+            max_ns: 0,
+        }
+    }
+
+    /// Records one latency observation.
+    pub fn record(&mut self, ns: u64) {
+        let idx = 63u32.saturating_sub(ns.leading_zeros()) as usize;
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum_ns += ns;
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Folds another histogram into this one (used to combine per-worker
+    /// histograms into the server-wide view).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Largest observation, exact.
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// Mean latency (exact: the running sum is kept outside the buckets).
+    pub fn mean_ns(&self) -> u64 {
+        self.sum_ns.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`), interpolated within its bucket
+    /// and clamped to the exact observed maximum.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= rank {
+                let lo = if i == 0 { 0u64 } else { 1u64 << i };
+                let width = if i == 0 { 2u64 } else { 1u64 << i };
+                let into = (rank - seen) as f64 / n as f64;
+                let est = lo + (width as f64 * into) as u64;
+                return est.min(self.max_ns);
+            }
+            seen += n;
+        }
+        self.max_ns
+    }
+
+    /// Fixed-quantile summary for reports.
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary {
+            count: self.count,
+            mean_ns: self.mean_ns(),
+            p50_ns: self.quantile(0.50),
+            p95_ns: self.quantile(0.95),
+            p99_ns: self.quantile(0.99),
+            p999_ns: self.quantile(0.999),
+            max_ns: self.max_ns,
+        }
+    }
+}
+
+/// Serializable quantile summary of a [`LatencyHistogram`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct LatencySummary {
+    /// Observations behind the quantiles.
+    pub count: u64,
+    /// Mean latency in nanoseconds (exact).
+    pub mean_ns: u64,
+    /// Median, within 2× (log2 buckets, interpolated).
+    pub p50_ns: u64,
+    /// 95th percentile.
+    pub p95_ns: u64,
+    /// 99th percentile.
+    pub p99_ns: u64,
+    /// 99.9th percentile.
+    pub p999_ns: u64,
+    /// Largest observation, exact.
+    pub max_ns: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean_ns(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.summary(), LatencySummary::default());
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_bounded() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=10_000u64 {
+            h.record(i * 100); // 100 ns .. 1 ms
+        }
+        let s = h.summary();
+        assert!(s.p50_ns <= s.p95_ns);
+        assert!(s.p95_ns <= s.p99_ns);
+        assert!(s.p99_ns <= s.p999_ns);
+        assert!(s.p999_ns <= s.max_ns);
+        assert_eq!(s.max_ns, 1_000_000);
+        // Log2 buckets: estimates are within a factor of two of truth.
+        assert!(
+            (250_000..=1_000_000).contains(&s.p50_ns),
+            "p50 = {}",
+            s.p50_ns
+        );
+    }
+
+    #[test]
+    fn single_value_quantiles_hit_it_exactly() {
+        let mut h = LatencyHistogram::new();
+        h.record(4096);
+        assert_eq!(h.quantile(0.5), 4096);
+        assert_eq!(h.quantile(0.999), 4096);
+        assert_eq!(h.mean_ns(), 4096);
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut whole = LatencyHistogram::new();
+        for i in 0..1000u64 {
+            let v = i * 37 + 5;
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.mean_ns(), whole.mean_ns());
+        assert_eq!(a.summary(), whole.summary());
+    }
+
+    #[test]
+    fn zero_and_one_ns_land_in_bucket_zero() {
+        let mut h = LatencyHistogram::new();
+        h.record(0);
+        h.record(1);
+        assert_eq!(h.count(), 2);
+        assert!(h.quantile(1.0) <= 1);
+    }
+}

@@ -1,0 +1,69 @@
+//! # webmm-server: native multi-worker serving harness
+//!
+//! The simulator (`webmm-runtime`) reproduces the paper's measurements on
+//! a modelled machine. This crate runs the same allocators on the *host*
+//! machine: a pool of OS worker threads, each owning a private heap built
+//! from an [`AllocatorKind`](webmm_alloc::AllocatorKind), serving whole
+//! transactions pulled from a bounded ingress queue — the paper's
+//! process-per-worker PHP serving model (§2.1), with the web tier's
+//! admission control made explicit.
+//!
+//! The pieces:
+//!
+//! * [`TxQueue`] / [`AdmissionPolicy`] — bounded MPMC ingress with
+//!   block / reject / shed-oldest backpressure, every outcome counted;
+//! * worker threads — one [`PlainPort`](webmm_sim::PlainPort) address
+//!   space and one heap each, replaying the workload's
+//!   malloc/free/freeAll schedule; `freeAll` (or a survivor sweep for
+//!   allocators without bulk free) empties the heap at every transaction
+//!   boundary;
+//! * [`TxFactory`] + [`drive_closed`] / [`drive_open`] — deterministic
+//!   transaction production under closed- or open-loop arrival models;
+//! * [`LatencyHistogram`] — log2-bucketed admission-to-completion
+//!   latencies with p50/p95/p99/p999;
+//! * [`ServerReport`] — JSON-serializable run outcome, carrying the
+//!   checked accounting identity `submitted == completed + shed`.
+//!
+//! ## Example
+//!
+//! ```
+//! use webmm_alloc::AllocatorKind;
+//! use webmm_server::{drive_closed, Server, ServerConfig, TxFactory};
+//!
+//! let server = Server::start(ServerConfig {
+//!     kind: AllocatorKind::DdMalloc,
+//!     workers: 2,
+//!     ..ServerConfig::default()
+//! });
+//! let factory = TxFactory::new(webmm_workload::phpbb(), 1024, 42);
+//! drive_closed(&server, factory, 10, 2);
+//! let report = server.finish();
+//! assert_eq!(report.completed + report.shed, report.submitted);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod histogram;
+mod loadgen;
+mod queue;
+mod server;
+mod worker;
+
+pub use histogram::{LatencyHistogram, LatencySummary};
+pub use loadgen::{drive_closed, drive_open, TxFactory};
+pub use queue::{Admission, AdmissionPolicy, QueueCounters, TxQueue};
+pub use server::{Ingress, Server, ServerConfig, ServerReport};
+pub use worker::WorkerReport;
+
+use webmm_workload::WorkOp;
+
+/// One web transaction: an identity plus the allocator-visible operation
+/// sequence a PHP worker would execute to serve it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Transaction {
+    /// Submission-order identity, assigned by the load generator.
+    pub id: u64,
+    /// The operation schedule, normally ending with [`WorkOp::EndTx`].
+    pub ops: Vec<WorkOp>,
+}

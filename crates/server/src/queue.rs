@@ -1,0 +1,315 @@
+//! Bounded MPMC ingress queue with configurable admission control.
+//!
+//! The paper's serving story is a web server fanning transactions out to a
+//! pool of PHP workers; the piece the simulator never modelled is what
+//! happens at the front door when offered load exceeds capacity. This
+//! queue makes that explicit: a fixed-capacity buffer plus an
+//! [`AdmissionPolicy`] deciding whether an arriving transaction waits
+//! (closed-loop clients), bounces (fail-fast), or displaces the oldest
+//! queued transaction (freshness under overload).
+//!
+//! Every admission outcome is counted, so the server can prove the
+//! accounting identity `submitted == completed + shed` after drain.
+
+use crate::Transaction;
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+/// What the queue does when a transaction arrives and the buffer is full.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Make the submitter wait for space — the backpressure a closed-loop
+    /// client population experiences.
+    Block,
+    /// Turn the new arrival away immediately (counted as shed).
+    Reject,
+    /// Admit the new arrival and drop the *oldest* queued transaction
+    /// (counted as shed): under overload, freshest work first.
+    ShedOldest,
+}
+
+impl AdmissionPolicy {
+    /// Stable identifier for CLI arguments and JSON output.
+    pub fn id(self) -> &'static str {
+        match self {
+            AdmissionPolicy::Block => "block",
+            AdmissionPolicy::Reject => "reject",
+            AdmissionPolicy::ShedOldest => "shed-oldest",
+        }
+    }
+
+    /// Parses an id produced by [`AdmissionPolicy::id`].
+    pub fn from_id(id: &str) -> Option<Self> {
+        [
+            AdmissionPolicy::Block,
+            AdmissionPolicy::Reject,
+            AdmissionPolicy::ShedOldest,
+        ]
+        .into_iter()
+        .find(|p| p.id() == id)
+    }
+}
+
+/// Outcome of one [`TxQueue::submit`] call.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Admission {
+    /// The transaction was enqueued (possibly after blocking).
+    Accepted,
+    /// The transaction was turned away ([`AdmissionPolicy::Reject`], or
+    /// any submission after [`TxQueue::close`]).
+    Rejected,
+    /// The transaction was enqueued and the oldest queued transaction was
+    /// dropped to make room ([`AdmissionPolicy::ShedOldest`]).
+    AcceptedSheddingOldest,
+}
+
+/// A transaction with its admission timestamp (latency measurement starts
+/// at the front door, so queueing delay is part of service latency).
+pub(crate) struct QueuedTx {
+    pub tx: Transaction,
+    pub enqueued: Instant,
+}
+
+/// Monotonic counters maintained by the queue.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct QueueCounters {
+    /// `submit` calls observed.
+    pub submitted: u64,
+    /// Transactions dropped by admission control (rejections plus
+    /// shed-oldest victims).
+    pub shed: u64,
+    /// Deepest the queue has been.
+    pub max_depth: u64,
+}
+
+struct QueueState {
+    buf: VecDeque<QueuedTx>,
+    closed: bool,
+    counters: QueueCounters,
+}
+
+/// Bounded multi-producer multi-consumer transaction queue.
+pub struct TxQueue {
+    state: Mutex<QueueState>,
+    /// Signalled when a transaction is enqueued or the queue closes.
+    not_empty: Condvar,
+    /// Signalled when a transaction is dequeued (Block-policy waiters).
+    not_full: Condvar,
+    capacity: usize,
+    policy: AdmissionPolicy,
+}
+
+impl TxQueue {
+    /// Creates a queue holding at most `capacity` transactions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize, policy: AdmissionPolicy) -> Self {
+        assert!(capacity > 0, "queue capacity must be nonzero");
+        TxQueue {
+            state: Mutex::new(QueueState {
+                buf: VecDeque::with_capacity(capacity),
+                closed: false,
+                counters: QueueCounters::default(),
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+            policy,
+        }
+    }
+
+    /// The configured admission policy.
+    pub fn policy(&self) -> AdmissionPolicy {
+        self.policy
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Offers a transaction to the queue; the admission outcome depends on
+    /// the policy. Every call increments `submitted`, and every outcome
+    /// other than enqueueing increments `shed`, so
+    /// `submitted == completed + shed` holds after a drain.
+    pub fn submit(&self, tx: Transaction) -> Admission {
+        let mut st = self.state.lock().expect("queue lock");
+        st.counters.submitted += 1;
+        if st.closed {
+            st.counters.shed += 1;
+            return Admission::Rejected;
+        }
+        if st.buf.len() >= self.capacity {
+            match self.policy {
+                AdmissionPolicy::Block => {
+                    while st.buf.len() >= self.capacity && !st.closed {
+                        st = self.not_full.wait(st).expect("queue lock");
+                    }
+                    if st.closed {
+                        st.counters.shed += 1;
+                        return Admission::Rejected;
+                    }
+                }
+                AdmissionPolicy::Reject => {
+                    st.counters.shed += 1;
+                    return Admission::Rejected;
+                }
+                AdmissionPolicy::ShedOldest => {
+                    st.buf.pop_front();
+                    st.counters.shed += 1;
+                    st.buf.push_back(QueuedTx {
+                        tx,
+                        enqueued: Instant::now(),
+                    });
+                    self.not_empty.notify_one();
+                    return Admission::AcceptedSheddingOldest;
+                }
+            }
+        }
+        st.buf.push_back(QueuedTx {
+            tx,
+            enqueued: Instant::now(),
+        });
+        let depth = st.buf.len() as u64;
+        st.counters.max_depth = st.counters.max_depth.max(depth);
+        self.not_empty.notify_one();
+        Admission::Accepted
+    }
+
+    /// Takes the next transaction, blocking while the queue is open and
+    /// empty. Returns `None` once the queue is closed *and* drained — the
+    /// worker's signal to exit.
+    pub(crate) fn pop(&self) -> Option<QueuedTx> {
+        let mut st = self.state.lock().expect("queue lock");
+        loop {
+            if let Some(q) = st.buf.pop_front() {
+                self.not_full.notify_one();
+                return Some(q);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.not_empty.wait(st).expect("queue lock");
+        }
+    }
+
+    /// Closes the front door: subsequent submissions are rejected, queued
+    /// transactions still drain, blocked submitters and idle workers wake.
+    pub fn close(&self) {
+        let mut st = self.state.lock().expect("queue lock");
+        st.closed = true;
+        drop(st);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Transactions currently queued (a gauge; racy by nature).
+    pub fn depth(&self) -> usize {
+        self.state.lock().expect("queue lock").buf.len()
+    }
+
+    /// Snapshot of the admission counters.
+    pub fn counters(&self) -> QueueCounters {
+        self.state.lock().expect("queue lock").counters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tx(id: u64) -> Transaction {
+        Transaction {
+            id,
+            ops: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn fifo_order_within_capacity() {
+        let q = TxQueue::new(8, AdmissionPolicy::Reject);
+        for i in 0..5 {
+            assert_eq!(q.submit(tx(i)), Admission::Accepted);
+        }
+        for i in 0..5 {
+            assert_eq!(q.pop().unwrap().tx.id, i);
+        }
+        assert_eq!(q.counters().max_depth, 5);
+    }
+
+    #[test]
+    fn reject_policy_bounces_when_full() {
+        let q = TxQueue::new(2, AdmissionPolicy::Reject);
+        assert_eq!(q.submit(tx(0)), Admission::Accepted);
+        assert_eq!(q.submit(tx(1)), Admission::Accepted);
+        assert_eq!(q.submit(tx(2)), Admission::Rejected);
+        let c = q.counters();
+        assert_eq!((c.submitted, c.shed), (3, 1));
+        assert_eq!(q.depth(), 2);
+    }
+
+    #[test]
+    fn shed_oldest_keeps_freshest() {
+        let q = TxQueue::new(2, AdmissionPolicy::ShedOldest);
+        q.submit(tx(0));
+        q.submit(tx(1));
+        assert_eq!(q.submit(tx(2)), Admission::AcceptedSheddingOldest);
+        assert_eq!(q.pop().unwrap().tx.id, 1);
+        assert_eq!(q.pop().unwrap().tx.id, 2);
+        assert_eq!(q.counters().shed, 1);
+    }
+
+    #[test]
+    fn close_rejects_submissions_but_drains() {
+        let q = TxQueue::new(4, AdmissionPolicy::Block);
+        q.submit(tx(0));
+        q.close();
+        assert_eq!(q.submit(tx(1)), Admission::Rejected);
+        assert_eq!(q.pop().unwrap().tx.id, 0);
+        assert!(q.pop().is_none());
+        let c = q.counters();
+        assert_eq!(c.submitted, 2);
+        assert_eq!(c.shed, 1);
+    }
+
+    #[test]
+    fn block_policy_waits_for_space() {
+        use std::sync::Arc;
+        let q = Arc::new(TxQueue::new(1, AdmissionPolicy::Block));
+        q.submit(tx(0));
+        let q2 = Arc::clone(&q);
+        let submitter = std::thread::spawn(move || q2.submit(tx(1)));
+        // Give the submitter time to block, then free a slot.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(q.pop().unwrap().tx.id, 0);
+        assert_eq!(submitter.join().unwrap(), Admission::Accepted);
+        assert_eq!(q.pop().unwrap().tx.id, 1);
+        assert_eq!(q.counters().shed, 0);
+    }
+
+    #[test]
+    fn close_releases_blocked_submitters() {
+        use std::sync::Arc;
+        let q = Arc::new(TxQueue::new(1, AdmissionPolicy::Block));
+        q.submit(tx(0));
+        let q2 = Arc::clone(&q);
+        let submitter = std::thread::spawn(move || q2.submit(tx(1)));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(submitter.join().unwrap(), Admission::Rejected);
+    }
+
+    #[test]
+    fn pop_blocks_until_work_arrives() {
+        use std::sync::Arc;
+        let q = Arc::new(TxQueue::new(4, AdmissionPolicy::Block));
+        let q2 = Arc::clone(&q);
+        let popper = std::thread::spawn(move || q2.pop().map(|q| q.tx.id));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.submit(tx(9));
+        assert_eq!(popper.join().unwrap(), Some(9));
+    }
+}

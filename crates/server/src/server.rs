@@ -1,0 +1,263 @@
+//! Server lifecycle: spawn, serve, drain, report.
+//!
+//! [`Server::start`] brings up the worker pool against a bounded ingress
+//! queue; transactions go in through [`Server::submit`] (or a cloneable
+//! [`Ingress`] handle for multi-threaded load generators);
+//! [`Server::finish`] closes the front door, lets every queued transaction
+//! drain, joins the workers, and folds their counters and histograms into
+//! a [`ServerReport`] whose accounting identity
+//! `submitted == completed + shed` is checked before it is returned.
+
+use crate::histogram::{LatencyHistogram, LatencySummary};
+use crate::queue::{Admission, AdmissionPolicy, TxQueue};
+use crate::worker::{self, WorkerReport};
+use crate::Transaction;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+use webmm_alloc::AllocatorKind;
+
+/// Configuration of a native serving run.
+#[derive(Copy, Clone, Debug)]
+pub struct ServerConfig {
+    /// Allocator family every worker builds a private heap from.
+    pub kind: AllocatorKind,
+    /// Worker threads (one heap each).
+    pub workers: usize,
+    /// Ingress queue capacity.
+    pub queue_capacity: usize,
+    /// What happens to arrivals when the queue is full.
+    pub policy: AdmissionPolicy,
+    /// Per-worker static data area (interpreter tables etc.), bytes.
+    pub static_bytes: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            kind: AllocatorKind::DdMalloc,
+            workers: 4,
+            queue_capacity: 128,
+            policy: AdmissionPolicy::Block,
+            static_bytes: 2 << 20,
+        }
+    }
+}
+
+/// A running pool of allocator workers behind a bounded queue.
+pub struct Server {
+    queue: Arc<TxQueue>,
+    handles: Vec<JoinHandle<(WorkerReport, LatencyHistogram)>>,
+    kind: AllocatorKind,
+    started: Instant,
+}
+
+impl Server {
+    /// Spawns the worker pool and opens the ingress queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` or `queue_capacity` is zero.
+    pub fn start(config: ServerConfig) -> Self {
+        assert!(config.workers > 0, "server needs at least one worker");
+        let queue = Arc::new(TxQueue::new(config.queue_capacity, config.policy));
+        let handles = (0..config.workers)
+            .map(|w| {
+                let queue = Arc::clone(&queue);
+                let kind = config.kind;
+                let static_bytes = config.static_bytes;
+                std::thread::Builder::new()
+                    .name(format!("webmm-worker-{w}"))
+                    .spawn(move || worker::run(w as u64, kind, static_bytes, queue))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Server {
+            queue,
+            handles,
+            kind: config.kind,
+            started: Instant::now(),
+        }
+    }
+
+    /// Offers one transaction to the ingress queue.
+    pub fn submit(&self, tx: Transaction) -> Admission {
+        self.queue.submit(tx)
+    }
+
+    /// A cloneable submission handle for client threads.
+    pub fn ingress(&self) -> Ingress {
+        Ingress(Arc::clone(&self.queue))
+    }
+
+    /// Transactions currently queued (gauge).
+    pub fn queue_depth(&self) -> usize {
+        self.queue.depth()
+    }
+
+    /// Closes the ingress queue, drains it, joins every worker, and
+    /// returns the merged report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panicked, or if the admission accounting
+    /// identity `submitted == completed + shed` does not hold.
+    pub fn finish(self) -> ServerReport {
+        self.queue.close();
+        let mut latencies = LatencyHistogram::new();
+        let mut per_worker = Vec::with_capacity(self.handles.len());
+        for h in self.handles {
+            let (report, hist) = h.join().expect("worker thread panicked");
+            latencies.merge(&hist);
+            per_worker.push(report);
+        }
+        let wall_ns = self.started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        let counters = self.queue.counters();
+        let completed: u64 = per_worker.iter().map(|w| w.completed).sum();
+        assert_eq!(
+            counters.submitted,
+            completed + counters.shed,
+            "admission accounting broken: {} submitted != {} completed + {} shed",
+            counters.submitted,
+            completed,
+            counters.shed,
+        );
+        let secs = wall_ns as f64 / 1e9;
+        ServerReport {
+            allocator: self.kind.id().to_string(),
+            workers: per_worker.len() as u64,
+            queue_capacity: self.queue.capacity() as u64,
+            policy: self.queue.policy().id().to_string(),
+            submitted: counters.submitted,
+            completed,
+            shed: counters.shed,
+            max_queue_depth: counters.max_depth,
+            wall_ns,
+            tx_per_sec: if secs > 0.0 {
+                completed as f64 / secs
+            } else {
+                0.0
+            },
+            latency: latencies.summary(),
+            per_worker,
+        }
+    }
+}
+
+/// Cloneable handle submitting transactions to a running [`Server`].
+#[derive(Clone)]
+pub struct Ingress(Arc<TxQueue>);
+
+impl Ingress {
+    /// Offers one transaction to the ingress queue.
+    pub fn submit(&self, tx: Transaction) -> Admission {
+        self.0.submit(tx)
+    }
+}
+
+/// Everything a serving run produced, JSON-serializable.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct ServerReport {
+    /// Allocator family id (e.g. `ddmalloc`).
+    pub allocator: String,
+    /// Worker threads that served.
+    pub workers: u64,
+    /// Ingress queue capacity.
+    pub queue_capacity: u64,
+    /// Admission policy id.
+    pub policy: String,
+    /// Transactions offered.
+    pub submitted: u64,
+    /// Transactions fully executed.
+    pub completed: u64,
+    /// Transactions dropped by admission control.
+    pub shed: u64,
+    /// Deepest the ingress queue got.
+    pub max_queue_depth: u64,
+    /// Wall-clock duration of the run (start to drain), nanoseconds.
+    pub wall_ns: u64,
+    /// Completed transactions per wall-clock second.
+    pub tx_per_sec: f64,
+    /// Service latency quantiles (admission to completion).
+    pub latency: LatencySummary,
+    /// Per-worker counters.
+    pub per_worker: Vec<WorkerReport>,
+}
+
+impl ServerReport {
+    /// Pretty-printed JSON rendering.
+    ///
+    /// # Panics
+    ///
+    /// Panics if serialization fails (it cannot for this type).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("ServerReport serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webmm_workload::WorkOp;
+
+    fn tiny_tx(id: u64) -> Transaction {
+        Transaction {
+            id,
+            ops: vec![
+                WorkOp::Malloc { id: 1, size: 64 },
+                WorkOp::Touch {
+                    id: 1,
+                    write: false,
+                },
+                WorkOp::EndTx,
+            ],
+        }
+    }
+
+    #[test]
+    fn serve_drain_report_accounts_every_tx() {
+        let server = Server::start(ServerConfig {
+            kind: AllocatorKind::DdMalloc,
+            workers: 2,
+            queue_capacity: 16,
+            policy: AdmissionPolicy::Block,
+            static_bytes: 1 << 16,
+        });
+        for i in 0..50 {
+            server.submit(tiny_tx(i));
+        }
+        let report = server.finish();
+        assert_eq!(report.submitted, 50);
+        assert_eq!(report.completed + report.shed, 50);
+        assert_eq!(report.shed, 0, "Block policy never sheds");
+        assert_eq!(report.latency.count, report.completed);
+        assert_eq!(report.per_worker.len(), 2);
+        assert!(report.tx_per_sec > 0.0);
+    }
+
+    #[test]
+    fn report_json_roundtrips() {
+        let server = Server::start(ServerConfig {
+            workers: 1,
+            queue_capacity: 4,
+            ..ServerConfig::default()
+        });
+        server.submit(tiny_tx(0));
+        let report = server.finish();
+        let json = report.to_json();
+        let back: ServerReport = serde_json::from_str(&json).expect("roundtrip");
+        assert_eq!(back.completed, report.completed);
+        assert_eq!(back.allocator, report.allocator);
+        assert_eq!(back.latency.count, report.latency.count);
+        assert_eq!(back.per_worker.len(), report.per_worker.len());
+    }
+
+    #[test]
+    fn finish_with_no_traffic_is_clean() {
+        let server = Server::start(ServerConfig::default());
+        let report = server.finish();
+        assert_eq!(report.submitted, 0);
+        assert_eq!(report.completed, 0);
+        assert_eq!(report.latency.count, 0);
+    }
+}

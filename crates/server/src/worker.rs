@@ -1,0 +1,250 @@
+//! Worker threads: one OS thread, one heap, one address space.
+//!
+//! Each worker mirrors a PHP worker process from the paper's serving model
+//! (§2.1): it owns a private [`PlainPort`] address space and a private
+//! allocator built in-place from the `Copy + Send` [`AllocatorKind`] tag,
+//! and replays whole transactions against them. At every transaction
+//! boundary the heap is returned to empty — by `freeAll` where the
+//! allocator supports bulk free (the paper's porting recipe), by
+//! per-object frees of the survivors otherwise — so transactions never
+//! leak state into each other and a worker can serve forever.
+
+use crate::histogram::LatencyHistogram;
+use crate::queue::TxQueue;
+use std::collections::HashMap;
+use std::sync::Arc;
+use webmm_alloc::{Allocator, AllocatorKind};
+use webmm_sim::{Addr, MemoryPort, PageSize, PlainPort};
+use webmm_workload::WorkOp;
+
+/// Per-worker outcome counters, serialized into the server report.
+#[derive(Clone, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct WorkerReport {
+    /// Worker index (0-based).
+    pub worker: u64,
+    /// Transactions this worker completed.
+    pub completed: u64,
+    /// Payload bytes touched: malloc'd, realloc'd, re-read and static.
+    pub bytes_touched: u64,
+    /// Ops referencing objects this worker never allocated (cross-worker
+    /// lifetimes in open-lifetime workloads); skipped, not served.
+    pub orphan_ops: u64,
+    /// Largest number of objects still live *after* end-of-transaction
+    /// cleanup — 0 proves `freeAll` (or survivor sweep) emptied the heap
+    /// between every pair of transactions.
+    pub max_live_after_tx: u64,
+    /// Simulated instructions retired by this worker's port (allocator
+    /// metadata work plus application compute).
+    pub sim_instructions: u64,
+}
+
+/// Everything a worker thread owns. Constructing it *inside* the spawned
+/// thread is deliberate: only the `Copy + Send` kind tag crosses the spawn
+/// boundary, the heap itself is born on the thread that will use it.
+struct WorkerState {
+    heap: Box<dyn Allocator + Send>,
+    port: PlainPort,
+    /// Live objects: workload id → (address, current size).
+    objects: HashMap<u64, (Addr, u64)>,
+    static_base: Addr,
+    report: WorkerReport,
+}
+
+impl WorkerState {
+    fn new(worker: u64, kind: AllocatorKind, static_bytes: u64) -> Self {
+        let mut port = PlainPort::new();
+        let static_base = port.os_alloc(static_bytes.max(4096), 4096, PageSize::Base);
+        WorkerState {
+            heap: kind.build_send(worker as u32),
+            port,
+            objects: HashMap::new(),
+            static_base,
+            report: WorkerReport {
+                worker,
+                ..WorkerReport::default()
+            },
+        }
+    }
+
+    /// Replays one transaction's operations against this worker's heap.
+    ///
+    /// # Panics
+    ///
+    /// Panics on allocator out-of-memory: heaps are sized so OOM means a
+    /// misconfiguration, and degrading silently would skew the histograms.
+    fn execute(&mut self, ops: &[WorkOp]) {
+        for op in ops {
+            match *op {
+                WorkOp::Malloc { id, size } => {
+                    let addr = self
+                        .heap
+                        .malloc(&mut self.port, size)
+                        .unwrap_or_else(|e| panic!("worker {}: {e}", self.report.worker));
+                    self.port.touch(addr, size, true); // initializing write
+                    self.objects.insert(id, (addr, size));
+                    self.report.bytes_touched += size;
+                }
+                WorkOp::Free { id } => match self.objects.remove(&id) {
+                    Some((addr, _)) => {
+                        if self.heap.alloc_traits().per_object_free {
+                            self.heap.free(&mut self.port, addr);
+                        }
+                        // Without per-object free (region/obstack) the
+                        // call is elided, per the paper's porting recipe.
+                    }
+                    None => self.report.orphan_ops += 1,
+                },
+                WorkOp::Realloc { id, new_size } => match self.objects.get(&id).copied() {
+                    Some((addr, old)) => {
+                        let new_addr = self
+                            .heap
+                            .realloc(&mut self.port, addr, old, new_size)
+                            .unwrap_or_else(|e| panic!("worker {}: {e}", self.report.worker));
+                        self.objects.insert(id, (new_addr, new_size));
+                        self.report.bytes_touched += new_size.saturating_sub(old);
+                    }
+                    None => self.report.orphan_ops += 1,
+                },
+                WorkOp::Touch { id, write } => match self.objects.get(&id).copied() {
+                    Some((addr, size)) => {
+                        self.port.touch(addr, size, write);
+                        self.report.bytes_touched += size;
+                    }
+                    None => self.report.orphan_ops += 1,
+                },
+                WorkOp::Compute { instr } => self.port.exec(instr),
+                WorkOp::StaticTouch { offset, len } => {
+                    self.port.touch(self.static_base + offset, len, false);
+                    self.report.bytes_touched += len;
+                }
+                WorkOp::EndTx => self.end_tx(),
+            }
+        }
+        // Transactions produced by the load generator end with EndTx; be
+        // robust to hand-built ones that do not.
+        if !ops.ends_with(&[WorkOp::EndTx]) {
+            self.end_tx();
+        }
+    }
+
+    /// End-of-transaction cleanup: the PHP runtime's `freeAll` hook where
+    /// the allocator has one, a survivor sweep where it does not.
+    fn end_tx(&mut self) {
+        let traits = self.heap.alloc_traits();
+        if traits.bulk_free {
+            self.heap.free_all(&mut self.port);
+            self.objects.clear();
+        } else {
+            for (_, (addr, _)) in self.objects.drain() {
+                if traits.per_object_free {
+                    self.heap.free(&mut self.port, addr);
+                }
+            }
+        }
+        let live = self.objects.len() as u64;
+        self.report.max_live_after_tx = self.report.max_live_after_tx.max(live);
+    }
+}
+
+/// The worker thread body: pull transactions until the queue closes and
+/// drains, then hand back the report and the local latency histogram.
+pub(crate) fn run(
+    worker: u64,
+    kind: AllocatorKind,
+    static_bytes: u64,
+    queue: Arc<TxQueue>,
+) -> (WorkerReport, LatencyHistogram) {
+    let mut state = WorkerState::new(worker, kind, static_bytes);
+    let mut latencies = LatencyHistogram::new();
+    while let Some(queued) = queue.pop() {
+        state.execute(&queued.tx.ops);
+        state.report.completed += 1;
+        let ns = queued
+            .enqueued
+            .elapsed()
+            .as_nanos()
+            .min(u128::from(u64::MAX)) as u64;
+        latencies.record(ns);
+    }
+    state.report.sim_instructions = state.port.instructions();
+    (state.report, latencies)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state(kind: AllocatorKind) -> WorkerState {
+        WorkerState::new(0, kind, 1 << 20)
+    }
+
+    #[test]
+    fn malloc_free_endtx_leaves_heap_empty() {
+        for kind in AllocatorKind::PHP_STUDY {
+            let mut s = state(kind);
+            s.execute(&[
+                WorkOp::Malloc { id: 1, size: 64 },
+                WorkOp::Malloc { id: 2, size: 200 },
+                WorkOp::Touch {
+                    id: 1,
+                    write: false,
+                },
+                WorkOp::Free { id: 1 },
+                WorkOp::EndTx,
+            ]);
+            assert!(s.objects.is_empty(), "{kind}");
+            assert_eq!(s.report.max_live_after_tx, 0, "{kind}");
+        }
+    }
+
+    #[test]
+    fn survivor_sweep_covers_non_bulk_allocators() {
+        // glibc-style: no freeAll — survivors must still be returned.
+        let mut s = state(AllocatorKind::Dl);
+        s.execute(&[WorkOp::Malloc { id: 1, size: 128 }, WorkOp::EndTx]);
+        assert!(s.objects.is_empty());
+        assert_eq!(s.heap.stats().frees, 1);
+    }
+
+    #[test]
+    fn orphan_ops_are_counted_not_served() {
+        let mut s = state(AllocatorKind::DdMalloc);
+        s.execute(&[
+            WorkOp::Free { id: 99 },
+            WorkOp::Touch {
+                id: 98,
+                write: true,
+            },
+            WorkOp::Realloc {
+                id: 97,
+                new_size: 32,
+            },
+            WorkOp::EndTx,
+        ]);
+        assert_eq!(s.report.orphan_ops, 3);
+        assert_eq!(s.heap.stats().frees, 0);
+    }
+
+    #[test]
+    fn missing_trailing_endtx_still_cleans_up() {
+        let mut s = state(AllocatorKind::Region);
+        s.execute(&[WorkOp::Malloc { id: 5, size: 400 }]);
+        assert!(s.objects.is_empty());
+        assert_eq!(s.heap.stats().free_alls, 1);
+    }
+
+    #[test]
+    fn bytes_touched_accumulates_all_payload_traffic() {
+        let mut s = state(AllocatorKind::PhpDefault);
+        s.execute(&[
+            WorkOp::Malloc { id: 1, size: 100 },
+            WorkOp::Touch {
+                id: 1,
+                write: false,
+            },
+            WorkOp::StaticTouch { offset: 0, len: 50 },
+            WorkOp::EndTx,
+        ]);
+        assert_eq!(s.report.bytes_touched, 250);
+    }
+}

@@ -73,7 +73,7 @@ impl Addr {
     /// Returns `true` if the address is a multiple of `align`.
     #[inline]
     pub const fn is_aligned(self, align: u64) -> bool {
-        self.0 % align == 0
+        self.0.is_multiple_of(align)
     }
 
     /// Returns the offset of this address within an `align`-sized block.

@@ -66,7 +66,12 @@ mod tests {
     use super::*;
 
     fn bus() -> BusConfig {
-        BusConfig { bytes_per_cycle: 4.0, base_latency: 200.0, queue_alpha: 0.7, max_factor: 8.0 }
+        BusConfig {
+            bytes_per_cycle: 4.0,
+            base_latency: 200.0,
+            queue_alpha: 0.7,
+            max_factor: 8.0,
+        }
     }
 
     #[test]

@@ -40,16 +40,24 @@ impl CacheConfig {
     /// Panics if `line_bytes` is not a power of two, if `assoc` is zero, or
     /// if `size_bytes / line_bytes / assoc` is not a power of two.
     pub fn new(size_bytes: u64, line_bytes: u64, assoc: u32) -> Self {
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(assoc > 0, "associativity must be nonzero");
         let lines = size_bytes / line_bytes;
         assert!(
-            lines % u64::from(assoc) == 0 && size_bytes % line_bytes == 0,
+            lines.is_multiple_of(u64::from(assoc)) && size_bytes.is_multiple_of(line_bytes),
             "capacity must divide into whole sets"
         );
         let sets = lines / u64::from(assoc);
         assert!(sets.is_power_of_two(), "set count must be a power of two");
-        CacheConfig { size_bytes, line_bytes, assoc, hashed_index: false }
+        CacheConfig {
+            size_bytes,
+            line_bytes,
+            assoc,
+            hashed_index: false,
+        }
     }
 
     /// Creates a config with hashed set indexing (for shared L2s).
@@ -151,8 +159,7 @@ impl Cache {
             // Multiplicative (Fibonacci) hash of the full line address,
             // like LLC complex addressing: strongly aligned streams and
             // identically laid-out processes spread over all sets.
-            (line_addr.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> (64 - self.set_bits))
-                & self.set_mask
+            (line_addr.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> (64 - self.set_bits)) & self.set_mask
         } else {
             line_addr & self.set_mask
         };
@@ -176,7 +183,11 @@ impl Cache {
                 let covered = line.prefetched;
                 line.prefetched = false;
                 self.hits += 1;
-                return AccessResult { hit: true, evicted_dirty: None, prefetch_covered: covered };
+                return AccessResult {
+                    hit: true,
+                    evicted_dirty: None,
+                    prefetch_covered: covered,
+                };
             }
         }
 
@@ -184,7 +195,11 @@ impl Cache {
         self.misses += 1;
         let victim = self.lru_victim(base, ways);
         let evicted_dirty = self.fill(victim, line_addr, write, false);
-        AccessResult { hit: false, evicted_dirty, prefetch_covered: false }
+        AccessResult {
+            hit: false,
+            evicted_dirty,
+            prefetch_covered: false,
+        }
     }
 
     /// Installs the line containing `addr` as a *prefetch* fill.
@@ -261,7 +276,13 @@ impl Cache {
         } else {
             None
         };
-        *line = Line { line_addr, valid: true, dirty: write, prefetched, lru: self.clock };
+        *line = Line {
+            line_addr,
+            valid: true,
+            dirty: write,
+            prefetched,
+            lru: self.clock,
+        };
         evicted
     }
 }

@@ -112,7 +112,9 @@ impl CodeState {
     /// Returns silently without fetches if no region is registered (useful
     /// for ports that do not model instruction fetch).
     pub fn execute(&mut self, n_instr: u64, out: &mut Vec<Addr>) {
-        let Some(CodeRegionId(idx)) = self.current else { return };
+        let Some(CodeRegionId(idx)) = self.current else {
+            return;
+        };
         let r = &mut self.regions[idx];
         let bytes = n_instr * BYTES_PER_INSTR;
 

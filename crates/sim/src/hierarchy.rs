@@ -264,7 +264,13 @@ mod tests {
     fn load_counts_and_misses() {
         let mut h = xeon_hier();
         let a = Addr::new(0x10_0000);
-        h.access(0, a, AccessKind::Load, PageSize::Base, Category::Application);
+        h.access(
+            0,
+            a,
+            AccessKind::Load,
+            PageSize::Base,
+            Category::Application,
+        );
         let ev = h.counters(0).get(Category::Application);
         assert_eq!(ev.loads, 1);
         assert_eq!(ev.l1d_misses, 1);
@@ -273,7 +279,13 @@ mod tests {
         assert_eq!(ev.bus_txns, 1);
 
         // Second access to the same line: all hits.
-        h.access(0, a + 8, AccessKind::Load, PageSize::Base, Category::Application);
+        h.access(
+            0,
+            a + 8,
+            AccessKind::Load,
+            PageSize::Base,
+            Category::Application,
+        );
         let ev = h.counters(0).get(Category::Application);
         assert_eq!(ev.loads, 2);
         assert_eq!(ev.l1d_misses, 1);
@@ -285,15 +297,33 @@ mod tests {
         let mut h = xeon_hier();
         let a = Addr::new(0x20_0000);
         // Core 0 brings the line into the pair's shared L2.
-        h.access(0, a, AccessKind::Load, PageSize::Base, Category::Application);
+        h.access(
+            0,
+            a,
+            AccessKind::Load,
+            PageSize::Base,
+            Category::Application,
+        );
         // Core 1 misses its own L1 but hits the shared L2.
-        h.access(1, a, AccessKind::Load, PageSize::Base, Category::Application);
+        h.access(
+            1,
+            a,
+            AccessKind::Load,
+            PageSize::Base,
+            Category::Application,
+        );
         let ev1 = h.counters(1).get(Category::Application);
         assert_eq!(ev1.l1d_misses, 1);
         assert_eq!(ev1.l2_hits, 1);
         assert_eq!(ev1.l2_misses, 0);
         // Core 2 is in a different sharing group: must go to memory.
-        h.access(2, a, AccessKind::Load, PageSize::Base, Category::Application);
+        h.access(
+            2,
+            a,
+            AccessKind::Load,
+            PageSize::Base,
+            Category::Application,
+        );
         let ev2 = h.counters(2).get(Category::Application);
         assert_eq!(ev2.l2_misses, 1);
     }
@@ -304,7 +334,13 @@ mod tests {
         // Stream through 64 lines; prefetcher should add extra bus txns
         // beyond the demand misses, and later accesses should be covered.
         for i in 0..64u64 {
-            h.access(0, Addr::new(0x40_0000 + i * 64), AccessKind::Store, PageSize::Base, Category::Application);
+            h.access(
+                0,
+                Addr::new(0x40_0000 + i * 64),
+                AccessKind::Store,
+                PageSize::Base,
+                Category::Application,
+            );
         }
         let ev = h.counters(0).get(Category::Application);
         assert!(ev.prefetches > 0, "prefetcher must fire on a pure stream");
@@ -313,7 +349,13 @@ mod tests {
         // Niagara: identical stream, no prefetch traffic.
         let mut n = MemHierarchy::new(&MachineConfig::niagara_t1());
         for i in 0..64u64 {
-            n.access(0, Addr::new(0x40_0000 + i * 64), AccessKind::Store, PageSize::Base, Category::Application);
+            n.access(
+                0,
+                Addr::new(0x40_0000 + i * 64),
+                AccessKind::Store,
+                PageSize::Base,
+                Category::Application,
+            );
         }
         assert_eq!(n.counters(0).get(Category::Application).prefetches, 0);
     }
@@ -328,17 +370,32 @@ mod tests {
         );
         // Write far more data than L2 holds; evictions must write back.
         for i in 0..8192u64 {
-            h.access(0, Addr::new(0x100_0000 + i * 64), AccessKind::Store, PageSize::Base, Category::Application);
+            h.access(
+                0,
+                Addr::new(0x100_0000 + i * 64),
+                AccessKind::Store,
+                PageSize::Base,
+                Category::Application,
+            );
         }
         let ev = h.counters(0).get(Category::Application);
         assert!(ev.writebacks > 0, "dirty lines must be written back");
-        assert!(ev.bus_bytes > 8192 * 64, "fills + writebacks exceed footprint");
+        assert!(
+            ev.bus_bytes > 8192 * 64,
+            "fills + writebacks exceed footprint"
+        );
     }
 
     #[test]
     fn ifetch_uses_l1i_and_no_tlb() {
         let mut h = xeon_hier();
-        h.access(0, Addr::new(0x50_0000), AccessKind::IFetch, PageSize::Base, Category::Application);
+        h.access(
+            0,
+            Addr::new(0x50_0000),
+            AccessKind::IFetch,
+            PageSize::Base,
+            Category::Application,
+        );
         let ev = h.counters(0).get(Category::Application);
         assert_eq!(ev.ifetch_lines, 1);
         assert_eq!(ev.l1i_misses, 1);
@@ -359,10 +416,22 @@ mod tests {
     fn flush_core_cools_private_caches_only() {
         let mut h = xeon_hier();
         let a = Addr::new(0x60_0000);
-        h.access(0, a, AccessKind::Load, PageSize::Base, Category::Application);
+        h.access(
+            0,
+            a,
+            AccessKind::Load,
+            PageSize::Base,
+            Category::Application,
+        );
         h.reset_counters();
         h.flush_core(0);
-        h.access(0, a, AccessKind::Load, PageSize::Base, Category::Application);
+        h.access(
+            0,
+            a,
+            AccessKind::Load,
+            PageSize::Base,
+            Category::Application,
+        );
         let ev = h.counters(0).get(Category::Application);
         assert_eq!(ev.l1d_misses, 1, "L1 was flushed");
         assert_eq!(ev.l2_hits, 1, "shared L2 still warm");
@@ -372,8 +441,17 @@ mod tests {
     #[test]
     fn reset_counters_zeroes_everything() {
         let mut h = xeon_hier();
-        h.access(0, Addr::new(0x1000), AccessKind::Load, PageSize::Base, Category::MemoryManagement);
+        h.access(
+            0,
+            Addr::new(0x1000),
+            AccessKind::Load,
+            PageSize::Base,
+            Category::MemoryManagement,
+        );
         h.reset_counters();
-        assert_eq!(h.counters(0).total(), crate::counters::EventCounts::default());
+        assert_eq!(
+            h.counters(0).total(),
+            crate::counters::EventCounts::default()
+        );
     }
 }

@@ -121,8 +121,15 @@ impl MachineConfig {
             l1d: CacheConfig::new(32 * 1024, 64, 8),
             l2: CacheConfig::new_hashed(4 * 1024 * 1024, 64, 16),
             cores_per_l2: 2,
-            dtlb: TlbConfig { base_entries: 256, large_entries: 32 },
-            prefetch: Some(PrefetchConfig { streams: 16, degree: 2, line_bytes: 64 }),
+            dtlb: TlbConfig {
+                base_entries: 256,
+                large_entries: 32,
+            },
+            prefetch: Some(PrefetchConfig {
+                streams: 16,
+                degree: 2,
+                line_bytes: 64,
+            }),
             bus: BusConfig {
                 bytes_per_cycle: 4.0,
                 base_latency: 200.0,
@@ -153,7 +160,10 @@ impl MachineConfig {
             l1d: CacheConfig::new(8 * 1024, 64, 4),
             l2: CacheConfig::new_hashed(3 * 1024 * 1024, 64, 12),
             cores_per_l2: 8,
-            dtlb: TlbConfig { base_entries: 64, large_entries: 64 },
+            dtlb: TlbConfig {
+                base_entries: 64,
+                large_entries: 64,
+            },
             prefetch: None,
             bus: BusConfig {
                 bytes_per_cycle: 12.0,
@@ -215,7 +225,9 @@ impl MachineConfig {
 
     /// Returns a builder pre-seeded from this config, for custom machines.
     pub fn to_builder(&self) -> MachineBuilder {
-        MachineBuilder { config: self.clone() }
+        MachineBuilder {
+            config: self.clone(),
+        }
     }
 }
 
@@ -294,7 +306,10 @@ impl MachineBuilder {
     /// Panics if `cores` is zero or not covered by whole L2 sharing groups.
     pub fn build(self) -> MachineConfig {
         assert!(self.config.cores > 0, "machine must have at least one core");
-        assert!(self.config.threads_per_core > 0, "need at least one thread per core");
+        assert!(
+            self.config.threads_per_core > 0,
+            "need at least one thread per core"
+        );
         assert!(self.config.cores_per_l2 > 0, "cores_per_l2 must be nonzero");
         self.config
     }
@@ -326,7 +341,11 @@ mod tests {
     #[test]
     fn cycles_scale_with_latency_factor() {
         let x = MachineConfig::xeon_clovertown();
-        let ev = EventCounts { instructions: 1000, l2_misses: 10, ..Default::default() };
+        let ev = EventCounts {
+            instructions: 1000,
+            l2_misses: 10,
+            ..Default::default()
+        };
         let idle = x.cycles(&ev, 1.0);
         let busy = x.cycles(&ev, 4.0);
         assert!(busy.memory_stall > 3.9 * idle.memory_stall);
@@ -336,12 +355,19 @@ mod tests {
     #[test]
     fn covered_prefetches_cost_little_when_idle() {
         let x = MachineConfig::xeon_clovertown();
-        let ev = EventCounts { l2_hits: 5, prefetch_covered: 5, ..Default::default() };
+        let ev = EventCounts {
+            l2_hits: 5,
+            prefetch_covered: 5,
+            ..Default::default()
+        };
         let idle = x.cycles(&ev, 1.0);
         // At factor 1.0 a covered miss costs only the L2 hit latency.
         assert!((idle.memory_stall - 0.0).abs() < 1e-9);
         let busy = x.cycles(&ev, 3.0);
-        assert!(busy.memory_stall > 0.0, "contention degrades prefetch coverage");
+        assert!(
+            busy.memory_stall > 0.0,
+            "contention degrades prefetch coverage"
+        );
     }
 
     #[test]

@@ -48,7 +48,12 @@ impl SimMemory {
     /// addresses never collide in shared caches (the simulator treats the
     /// simulated address as physical).
     pub fn new(base: u64) -> Self {
-        SimMemory { frames: HashMap::new(), brk: base.max(FRAME), base: base.max(FRAME), reserved: 0 }
+        SimMemory {
+            frames: HashMap::new(),
+            brk: base.max(FRAME),
+            base: base.max(FRAME),
+            reserved: 0,
+        }
     }
 
     /// Reserves `len` bytes aligned to `align` (power of two), like an
@@ -99,7 +104,10 @@ impl SimMemory {
     ///
     /// Panics if the access crosses a 4 KB frame boundary.
     pub fn read_u64(&self, addr: Addr) -> u64 {
-        assert!(addr.raw() % FRAME <= FRAME - 8, "u64 read crosses frame boundary");
+        assert!(
+            addr.raw() % FRAME <= FRAME - 8,
+            "u64 read crosses frame boundary"
+        );
         let frame_no = addr.raw() / FRAME;
         let off = (addr.raw() % FRAME) as usize;
         match self.frames.get(&frame_no) {
@@ -114,7 +122,10 @@ impl SimMemory {
     ///
     /// Panics if the access crosses a 4 KB frame boundary.
     pub fn write_u64(&mut self, addr: Addr, val: u64) {
-        assert!(addr.raw() % FRAME <= FRAME - 8, "u64 write crosses frame boundary");
+        assert!(
+            addr.raw() % FRAME <= FRAME - 8,
+            "u64 write crosses frame boundary"
+        );
         let (frame, off) = self.frame_mut(addr);
         frame[off..off + 8].copy_from_slice(&val.to_le_bytes());
     }
@@ -138,7 +149,10 @@ impl SimMemory {
     ///
     /// Panics if the access crosses a 4 KB frame boundary.
     pub fn read_u32(&self, addr: Addr) -> u32 {
-        assert!(addr.raw() % FRAME <= FRAME - 4, "u32 read crosses frame boundary");
+        assert!(
+            addr.raw() % FRAME <= FRAME - 4,
+            "u32 read crosses frame boundary"
+        );
         let frame_no = addr.raw() / FRAME;
         let off = (addr.raw() % FRAME) as usize;
         match self.frames.get(&frame_no) {
@@ -153,7 +167,10 @@ impl SimMemory {
     ///
     /// Panics if the access crosses a 4 KB frame boundary.
     pub fn write_u32(&mut self, addr: Addr, val: u32) {
-        assert!(addr.raw() % FRAME <= FRAME - 4, "u32 write crosses frame boundary");
+        assert!(
+            addr.raw() % FRAME <= FRAME - 4,
+            "u32 write crosses frame boundary"
+        );
         let (frame, off) = self.frame_mut(addr);
         frame[off..off + 4].copy_from_slice(&val.to_le_bytes());
     }

@@ -92,7 +92,11 @@ pub struct ProcessMem {
 impl ProcessMem {
     /// Creates a process address space starting at `base`.
     pub fn new(base: u64) -> Self {
-        ProcessMem { mem: SimMemory::new(base), code: CodeState::new(), large_ranges: Vec::new() }
+        ProcessMem {
+            mem: SimMemory::new(base),
+            code: CodeState::new(),
+            large_ranges: Vec::new(),
+        }
     }
 
     /// The underlying byte store.
@@ -165,7 +169,13 @@ pub struct ContextPort<'a> {
 impl<'a> ContextPort<'a> {
     /// Creates a port for process `proc` running on hardware context `ctx`.
     pub fn new(proc: &'a mut ProcessMem, hier: &'a mut MemHierarchy, ctx: usize) -> Self {
-        ContextPort { proc, hier, ctx, cat: Category::Application, scratch: Vec::new() }
+        ContextPort {
+            proc,
+            hier,
+            ctx,
+            cat: Category::Application,
+            scratch: Vec::new(),
+        }
     }
 
     #[inline]
@@ -216,7 +226,11 @@ impl MemoryPort for ContextPort<'_> {
         if len == 0 {
             return;
         }
-        let kind = if write { AccessKind::Store } else { AccessKind::Load };
+        let kind = if write {
+            AccessKind::Store
+        } else {
+            AccessKind::Load
+        };
         let first = addr.align_down(LINE);
         let last = (addr + (len - 1)).align_down(LINE);
         let mut line = first;
@@ -256,7 +270,8 @@ impl MemoryPort for ContextPort<'_> {
         self.proc.code.execute(n_instr, &mut self.scratch);
         for i in 0..self.scratch.len() {
             let a = self.scratch[i];
-            self.hier.access(self.ctx, a, AccessKind::IFetch, PageSize::Base, self.cat);
+            self.hier
+                .access(self.ctx, a, AccessKind::IFetch, PageSize::Base, self.cat);
         }
     }
 

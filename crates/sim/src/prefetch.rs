@@ -28,7 +28,11 @@ pub struct PrefetchConfig {
 
 impl Default for PrefetchConfig {
     fn default() -> Self {
-        PrefetchConfig { streams: 16, degree: 2, line_bytes: 64 }
+        PrefetchConfig {
+            streams: 16,
+            degree: 2,
+            line_bytes: 64,
+        }
     }
 }
 
@@ -61,7 +65,12 @@ impl StreamPrefetcher {
         StreamPrefetcher {
             config,
             table: vec![
-                Stream { next_line: 0, confirmations: 0, lru: 0, valid: false };
+                Stream {
+                    next_line: 0,
+                    confirmations: 0,
+                    lru: 0,
+                    valid: false
+                };
                 config.streams
             ],
             clock: 0,
@@ -131,11 +140,16 @@ impl StreamPrefetcher {
 }
 
 #[cfg(test)]
+#[allow(clippy::identity_op, clippy::precedence)] // addresses written as (page << 20) + offset
 mod tests {
     use super::*;
 
     fn pf() -> StreamPrefetcher {
-        StreamPrefetcher::new(PrefetchConfig { streams: 4, degree: 2, line_bytes: 64 })
+        StreamPrefetcher::new(PrefetchConfig {
+            streams: 4,
+            degree: 2,
+            line_bytes: 64,
+        })
     }
 
     #[test]

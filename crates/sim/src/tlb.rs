@@ -72,7 +72,11 @@ struct LruArray {
 
 impl LruArray {
     fn new(capacity: usize) -> Self {
-        LruArray { entries: Vec::with_capacity(capacity), capacity, clock: 0 }
+        LruArray {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            clock: 0,
+        }
     }
 
     /// Returns true on hit; installs the entry on miss.
@@ -159,7 +163,10 @@ mod tests {
 
     #[test]
     fn base_hit_within_page_miss_across() {
-        let mut t = Tlb::new(TlbConfig { base_entries: 4, large_entries: 0 });
+        let mut t = Tlb::new(TlbConfig {
+            base_entries: 4,
+            large_entries: 0,
+        });
         assert!(!t.access(Addr::new(0), PageSize::Base));
         assert!(t.access(Addr::new(4095), PageSize::Base));
         assert!(!t.access(Addr::new(4096), PageSize::Base));
@@ -169,7 +176,10 @@ mod tests {
 
     #[test]
     fn lru_replacement() {
-        let mut t = Tlb::new(TlbConfig { base_entries: 2, large_entries: 0 });
+        let mut t = Tlb::new(TlbConfig {
+            base_entries: 2,
+            large_entries: 0,
+        });
         t.access(Addr::new(0x0000), PageSize::Base); // page 0
         t.access(Addr::new(0x1000), PageSize::Base); // page 1
         t.access(Addr::new(0x0000), PageSize::Base); // page 0 → MRU
@@ -180,7 +190,10 @@ mod tests {
 
     #[test]
     fn large_pages_cover_more() {
-        let mut t = Tlb::new(TlbConfig { base_entries: 64, large_entries: 8 });
+        let mut t = Tlb::new(TlbConfig {
+            base_entries: 64,
+            large_entries: 8,
+        });
         // 16 MB touched with large pages: 4 entries, all but first hit/page.
         let mut misses = 0;
         for i in 0..(16u64 << 20) / 4096 {
@@ -193,7 +206,10 @@ mod tests {
 
     #[test]
     fn zero_capacity_always_misses() {
-        let mut t = Tlb::new(TlbConfig { base_entries: 0, large_entries: 0 });
+        let mut t = Tlb::new(TlbConfig {
+            base_entries: 0,
+            large_entries: 0,
+        });
         assert!(!t.access(Addr::new(0), PageSize::Base));
         assert!(!t.access(Addr::new(0), PageSize::Base));
         assert_eq!(t.misses(), 2);
@@ -201,7 +217,10 @@ mod tests {
 
     #[test]
     fn flush_forgets_everything() {
-        let mut t = Tlb::new(TlbConfig { base_entries: 4, large_entries: 4 });
+        let mut t = Tlb::new(TlbConfig {
+            base_entries: 4,
+            large_entries: 4,
+        });
         t.access(Addr::new(0), PageSize::Base);
         t.flush();
         assert!(!t.access(Addr::new(0), PageSize::Base));

@@ -64,13 +64,16 @@ fn clamped_mean(mu: f64) -> f64 {
     for i in 0..STEPS {
         let p = (i as f64 + 0.5) / STEPS as f64;
         let z = inverse_normal_cdf(p);
-        let x = (mu + SIGMA * z).exp().clamp(MIN_SIZE as f64, MAX_SIZE as f64);
+        let x = (mu + SIGMA * z)
+            .exp()
+            .clamp(MIN_SIZE as f64, MAX_SIZE as f64);
         acc += x;
     }
     acc / STEPS as f64
 }
 
 /// Acklam's rational approximation of the standard normal quantile.
+#[allow(clippy::excessive_precision)] // coefficients kept exactly as published
 fn inverse_normal_cdf(p: f64) -> f64 {
     debug_assert!(p > 0.0 && p < 1.0);
     const A: [f64; 6] = [

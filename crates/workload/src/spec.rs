@@ -232,7 +232,10 @@ mod tests {
             gaps.push(gap);
         }
         let avg = gaps.iter().sum::<f64>() / gaps.len() as f64;
-        assert!((0.13..=0.18).contains(&avg), "average gap {avg} should be ~15.3%");
+        assert!(
+            (0.13..=0.18).contains(&avg),
+            "average gap {avg} should be ~15.3%"
+        );
     }
 
     #[test]
@@ -257,7 +260,7 @@ mod tests {
     #[test]
     fn by_name_roundtrip() {
         assert_eq!(by_name("phpBB").unwrap().mallocs_per_tx, 46_965);
-        assert_eq!(by_name("Ruby on Rails").unwrap().bulk_free_at_end, false);
+        assert!(!by_name("Ruby on Rails").unwrap().bulk_free_at_end);
         assert!(by_name("nope").is_none());
     }
 }

@@ -137,7 +137,10 @@ impl TxStream {
     pub fn new(spec: WorkloadSpec, scale: u32, seed: u64) -> Self {
         assert!(scale > 0, "scale must be nonzero");
         let tx_ticks = spec.mallocs_per_tx / u64::from(scale);
-        assert!(tx_ticks >= 16, "scale {scale} leaves too few mallocs per transaction");
+        assert!(
+            tx_ticks >= 16,
+            "scale {scale} leaves too few mallocs per transaction"
+        );
         let reallocs = (spec.reallocs_per_tx / u64::from(scale)).max(1);
         let sizes = SizeSampler::new(spec.mean_alloc_bytes);
         TxStream {
@@ -251,9 +254,16 @@ impl TxStream {
         }
 
         // 2. Application work: compute plus a static-data touch.
-        self.queue.push_back(WorkOp::Compute { instr: self.spec.app_instr_per_malloc });
-        let off = self.rng.gen_range(0..self.spec.static_bytes.saturating_sub(256).max(1));
-        self.queue.push_back(WorkOp::StaticTouch { offset: off, len: 64 });
+        self.queue.push_back(WorkOp::Compute {
+            instr: self.spec.app_instr_per_malloc,
+        });
+        let off = self
+            .rng
+            .gen_range(0..self.spec.static_bytes.saturating_sub(256).max(1));
+        self.queue.push_back(WorkOp::StaticTouch {
+            offset: off,
+            len: 64,
+        });
 
         // 3. The allocation of this tick.
         let id = self.next_id;
@@ -307,7 +317,7 @@ impl TxStream {
     fn draw_gap(&mut self) -> u64 {
         if !self.spec.bulk_free_at_end && self.rng.gen_bool(self.spec.cross_tx_fraction) {
             // Ruby: survives 1-4 transactions past this one.
-            let txs = self.rng.gen_range(1..=4);
+            let txs = self.rng.gen_range(1u64..=4);
             return txs * self.tx_ticks + self.rng.gen_range(0..self.tx_ticks);
         }
         let max_gap = (self.tx_ticks / 2).clamp(2, 1024);
@@ -430,15 +440,16 @@ mod tests {
                 WorkOp::Malloc { id, .. } => {
                     born.insert(id, tx);
                 }
-                WorkOp::Free { id } => {
-                    if born.get(&id).is_some_and(|&b| b < tx) {
-                        crossed += 1;
-                    }
+                WorkOp::Free { id } if born.get(&id).is_some_and(|&b| b < tx) => {
+                    crossed += 1;
                 }
                 _ => {}
             }
         }
-        assert!(crossed > 0, "Rails objects must cross transaction boundaries");
+        assert!(
+            crossed > 0,
+            "Rails objects must cross transaction boundaries"
+        );
     }
 
     #[test]
@@ -464,7 +475,10 @@ mod tests {
         }
         lifetimes.sort_unstable();
         let median = lifetimes[lifetimes.len() / 2];
-        assert!(median <= 64, "median lifetime {median} should be short (LIFO bias)");
+        assert!(
+            median <= 64,
+            "median lifetime {median} should be short (LIFO bias)"
+        );
     }
 
     #[test]
@@ -474,9 +488,18 @@ mod tests {
         let ops = run_transactions(&mut s, 4);
         let computes: u64 = ops
             .iter()
-            .map(|op| if let WorkOp::Compute { instr } = op { *instr } else { 0 })
+            .map(|op| {
+                if let WorkOp::Compute { instr } = op {
+                    *instr
+                } else {
+                    0
+                }
+            })
             .sum();
-        let mallocs = ops.iter().filter(|o| matches!(o, WorkOp::Malloc { .. })).count() as u64;
+        let mallocs = ops
+            .iter()
+            .filter(|o| matches!(o, WorkOp::Malloc { .. }))
+            .count() as u64;
         assert!(computes / mallocs >= 10_000);
         assert!(s.stats().mean_alloc_bytes() > 120.0);
     }

@@ -11,13 +11,18 @@ use webmm::sim::MachineConfig;
 use webmm::workload::by_name;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "phpBB".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "phpBB".to_string());
     let workload = by_name(&name).unwrap_or_else(|| {
         eprintln!("unknown workload {name:?}; see Table 2 (e.g. \"phpBB\", \"SugarCRM\")");
         std::process::exit(2);
     });
     let machine = MachineConfig::xeon_clovertown();
-    println!("{} on {}, 8 cores, scale 1/32\n", workload.name, machine.name);
+    println!(
+        "{} on {}, 8 cores, scale 1/32\n",
+        workload.name, machine.name
+    );
     println!(
         "{:<12} {:>10} {:>10} {:>8} {:>8} {:>8} {:>8} {:>7}",
         "allocator", "tx/s", "instr/tx", "L1D/tx", "L2/tx", "bus/tx", "mm%", "rho"
@@ -27,8 +32,10 @@ fn main() {
         // Allocators without bulk free live in the Ruby world: no freeAll,
         // periodic restart instead.
         let bulk = kind.build(0).alloc_traits().bulk_free;
-        let mut cfg =
-            RunConfig::new(kind, workload.clone()).scale(32).cores(8).window(2, 4);
+        let mut cfg = RunConfig::new(kind, workload.clone())
+            .scale(32)
+            .cores(8)
+            .window(2, 4);
         if !bulk {
             cfg = cfg.no_free_all().restart_every(Some(500));
         }

@@ -40,10 +40,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let counts = hierarchy.counters(0);
     let mm = counts.mm;
     let app = counts.app;
-    println!("memory management: {:>8} instructions, {:>5} L1D misses, {:>4} L2 misses",
-        mm.instructions, mm.l1d_misses, mm.l2_misses);
-    println!("application:       {:>8} instructions, {:>5} L1D misses, {:>4} L2 misses",
-        app.instructions, app.l1d_misses, app.l2_misses);
+    println!(
+        "memory management: {:>8} instructions, {:>5} L1D misses, {:>4} L2 misses",
+        mm.instructions, mm.l1d_misses, mm.l2_misses
+    );
+    println!(
+        "application:       {:>8} instructions, {:>5} L1D misses, {:>4} L2 misses",
+        app.instructions, app.l1d_misses, app.l2_misses
+    );
 
     let footprint = dd.footprint();
     println!(
@@ -56,8 +60,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Events → cycles via the machine cost model (no bus contention here).
     let cycles = machine.cycles(&counts.total(), 1.0);
-    println!("estimated cycles: {:.0} ({:.1}% in memory management)",
+    println!(
+        "estimated cycles: {:.0} ({:.1}% in memory management)",
         cycles.total(),
-        100.0 * machine.cycles(&mm, 1.0).total() / cycles.total());
+        100.0 * machine.cycles(&mm, 1.0).total() / cycles.total()
+    );
     Ok(())
 }

@@ -11,7 +11,10 @@ use webmm::sim::MachineConfig;
 use webmm::workload::mediawiki_read;
 
 fn main() {
-    let scale: u32 = std::env::var("WEBMM_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(32);
+    let scale: u32 = std::env::var("WEBMM_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(32);
     println!("MediaWiki (read only) on a simulated 8-core Xeon, workload scale 1/{scale}\n");
     let machine = MachineConfig::xeon_clovertown();
 
@@ -23,7 +26,10 @@ fn main() {
         let mut best = ("", f64::MIN);
         let mut cells = Vec::new();
         for kind in AllocatorKind::PHP_STUDY {
-            let cfg = RunConfig::new(kind, mediawiki_read()).scale(scale).cores(cores).window(2, 4);
+            let cfg = RunConfig::new(kind, mediawiki_read())
+                .scale(scale)
+                .cores(cores)
+                .window(2, 4);
             let r = run(&machine, &cfg);
             let tps = r.throughput.tx_per_sec;
             if tps > best.1 {
@@ -31,10 +37,17 @@ fn main() {
             }
             cells.push(format!(
                 "{tps:>8.1} tx/s{}",
-                if r.throughput.latency_factor > 1.2 { "*" } else { " " }
+                if r.throughput.latency_factor > 1.2 {
+                    "*"
+                } else {
+                    " "
+                }
             ));
         }
-        println!("{cores:<8} {} {} {}   {}", cells[0], cells[1], cells[2], best.0);
+        println!(
+            "{cores:<8} {} {} {}   {}",
+            cells[0], cells[1], cells[2], best.0
+        );
     }
     println!("\n(* = memory bus visibly contended at the fixed point)");
     println!("The paper's story: the bump-pointer region allocator wins while the bus");

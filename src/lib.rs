@@ -19,7 +19,11 @@
 //! * [`runtime`] — the transaction engine and the bus-contention
 //!   throughput model;
 //! * [`profiler`] — the paper's measurement lenses (CPU breakdowns,
-//!   hardware-event deltas, memory consumption).
+//!   hardware-event deltas, memory consumption);
+//! * [`server`] — the native serving harness: the same allocators on real
+//!   OS worker threads (one heap each) behind a bounded ingress queue
+//!   with block/reject/shed-oldest admission control and log2 latency
+//!   histograms.
 //!
 //! ## Quickstart
 //!
@@ -45,5 +49,6 @@
 pub use webmm_alloc as alloc;
 pub use webmm_profiler as profiler;
 pub use webmm_runtime as runtime;
+pub use webmm_server as server;
 pub use webmm_sim as sim;
 pub use webmm_workload as workload;

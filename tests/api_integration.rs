@@ -2,7 +2,7 @@
 //! the workload→runtime→profiler pipeline, determinism, and the Table 1
 //! taxonomy driving runtime behaviour.
 
-use webmm::alloc::{Allocator, AllocatorKind};
+use webmm::alloc::AllocatorKind;
 use webmm::profiler::report;
 use webmm::runtime::{run, RunConfig};
 use webmm::sim::{MachineConfig, PlainPort};
@@ -26,7 +26,10 @@ fn facade_reexports_compose() {
             }
             WorkOp::Realloc { id, new_size } => {
                 let addr = live[&id];
-                live.insert(id, alloc.realloc(&mut port, addr, 0, new_size).expect("no OOM"));
+                live.insert(
+                    id,
+                    alloc.realloc(&mut port, addr, 0, new_size).expect("no OOM"),
+                );
             }
             WorkOp::EndTx => {
                 alloc.free_all(&mut port);
@@ -48,7 +51,10 @@ fn runs_are_deterministic_end_to_end() {
     let a = run(&machine, &cfg);
     let b = run(&machine, &cfg);
     assert_eq!(a.events, b.events);
-    assert_eq!(a.throughput.tx_per_sec.to_bits(), b.throughput.tx_per_sec.to_bits());
+    assert_eq!(
+        a.throughput.tx_per_sec.to_bits(),
+        b.throughput.tx_per_sec.to_bits()
+    );
     assert_eq!(a.footprint, b.footprint);
 }
 
@@ -57,12 +63,16 @@ fn every_php_workload_completes_on_every_study_allocator() {
     let machine = MachineConfig::xeon_clovertown();
     for wl in php_workloads() {
         for kind in AllocatorKind::PHP_STUDY {
-            let cfg = RunConfig::new(kind, wl.clone()).scale(256.min(
-                // Keep at least 16 mallocs per transaction.
-                (wl.mallocs_per_tx / 16).next_power_of_two() as u32 / 2,
-            ).max(1))
-            .cores(1)
-            .window(0, 1);
+            let cfg = RunConfig::new(kind, wl.clone())
+                .scale(
+                    256.min(
+                        // Keep at least 16 mallocs per transaction.
+                        (wl.mallocs_per_tx / 16).next_power_of_two() as u32 / 2,
+                    )
+                    .max(1),
+                )
+                .cores(1)
+                .window(0, 1);
             let r = run(&machine, &cfg);
             assert!(r.throughput.tx_per_sec > 0.0, "{} / {}", wl.name, kind);
             assert!(r.total_events().total().instructions > 0);
@@ -93,10 +103,7 @@ fn taxonomy_drives_runtime_behaviour() {
 
 #[test]
 fn report_helpers_render() {
-    let t = report::table(&[
-        vec!["a".into(), "b".into()],
-        vec!["1".into(), "2".into()],
-    ]);
+    let t = report::table(&[vec!["a".into(), "b".into()], vec!["1".into(), "2".into()]]);
     assert!(t.contains('\n'));
     assert!(report::bar(5.0, 10.0, 10).starts_with('|'));
     assert_eq!(report::bytes(1024), "1.0 KB");

@@ -14,7 +14,13 @@ use webmm::workload::{mediawiki_read, rails, specweb};
 const SCALE: u32 = 64;
 
 fn php(machine: &MachineConfig, kind: AllocatorKind, cores: u32) -> RunResult {
-    run(machine, &RunConfig::new(kind, mediawiki_read()).scale(SCALE).cores(cores).window(2, 3))
+    run(
+        machine,
+        &RunConfig::new(kind, mediawiki_read())
+            .scale(SCALE)
+            .cores(cores)
+            .window(2, 3),
+    )
 }
 
 fn tps(r: &RunResult) -> f64 {
@@ -30,8 +36,14 @@ fn xeon_crossover() {
     let base1 = php(&machine, AllocatorKind::PhpDefault, 1);
     let reg1 = php(&machine, AllocatorKind::Region, 1);
     let dd1 = php(&machine, AllocatorKind::DdMalloc, 1);
-    assert!(tps(&reg1) > tps(&base1), "1 core: region must beat the default");
-    assert!(tps(&dd1) > tps(&base1), "1 core: DDmalloc must beat the default");
+    assert!(
+        tps(&reg1) > tps(&base1),
+        "1 core: region must beat the default"
+    );
+    assert!(
+        tps(&dd1) > tps(&base1),
+        "1 core: DDmalloc must beat the default"
+    );
 
     let base8 = php(&machine, AllocatorKind::PhpDefault, 8);
     let reg8 = php(&machine, AllocatorKind::Region, 8);
@@ -79,7 +91,10 @@ fn specweb_is_insensitive() {
     for kind in AllocatorKind::PHP_STUDY {
         let r = run(
             &machine,
-            &RunConfig::new(kind, specweb()).scale(SCALE).cores(8).window(2, 3),
+            &RunConfig::new(kind, specweb())
+                .scale(SCALE)
+                .cores(8)
+                .window(2, 3),
         );
         values.push(tps(&r));
     }
@@ -100,8 +115,15 @@ fn fig8_shape_region_traffic() {
     let base = php(&machine, AllocatorKind::PhpDefault, 8);
     let reg = php(&machine, AllocatorKind::Region, 8);
     let d = event_deltas(&reg, &base);
-    assert!(d.l2_misses > 5.0, "region must raise L2 misses ({:+.1}%)", d.l2_misses);
-    assert!(d.bus_txns > d.l2_misses, "prefetcher must amplify bus over L2 ({d:?})");
+    assert!(
+        d.l2_misses > 5.0,
+        "region must raise L2 misses ({:+.1}%)",
+        d.l2_misses
+    );
+    assert!(
+        d.bus_txns > d.l2_misses,
+        "prefetcher must amplify bus over L2 ({d:?})"
+    );
     assert!(d.instructions < -5.0, "region executes fewer instructions");
 
     // Without the prefetcher, the bus/L2 gap shrinks (the paper's
@@ -128,7 +150,10 @@ fn fig8_shape_ddmalloc_traffic() {
     let reg = php(&machine, AllocatorKind::Region, 8);
     let d_dd = event_deltas(&dd, &base);
     let d_reg = event_deltas(&reg, &base);
-    assert!(d_dd.instructions < -3.0, "DDmalloc executes fewer instructions");
+    assert!(
+        d_dd.instructions < -3.0,
+        "DDmalloc executes fewer instructions"
+    );
     assert!(
         d_dd.bus_txns < d_reg.bus_txns / 2.0,
         "DDmalloc bus traffic ({:+.1}%) must stay far below region's ({:+.1}%)",
@@ -177,7 +202,10 @@ fn fig6_shape_mm_cuts() {
     let reg_cut = 1.0 - reg.mm_cycles / base.mm_cycles;
     let dd_cut = 1.0 - dd.mm_cycles / base.mm_cycles;
     assert!(reg_cut > 0.7, "region mm cut {reg_cut:.2} (paper: 85%)");
-    assert!((0.25..0.9).contains(&dd_cut), "DDmalloc mm cut {dd_cut:.2} (paper: 56%)");
+    assert!(
+        (0.25..0.9).contains(&dd_cut),
+        "DDmalloc mm cut {dd_cut:.2} (paper: 56%)"
+    );
     assert!(reg_cut > dd_cut);
     // Region's "others" portion grows: the hidden cost of no reuse.
     assert!(
@@ -225,7 +253,10 @@ fn large_pages_cut_tlb_misses() {
         .scale(SCALE)
         .cores(1)
         .window(2, 3)
-        .dd_config(DdConfig { large_pages: true, ..DdConfig::default() });
+        .dd_config(DdConfig {
+            large_pages: true,
+            ..DdConfig::default()
+        });
     let large = run(&machine, &cfg);
     let misses = |r: &RunResult| r.total_events().total().dtlb_misses;
     assert!(

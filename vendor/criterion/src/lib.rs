@@ -1,0 +1,210 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface this workspace's benches use — `Criterion`,
+//! `benchmark_group`/`bench_with_input`/`bench_function`, `Bencher::iter`,
+//! `BenchmarkId`, `black_box`, and the `criterion_group!`/`criterion_main!`
+//! macros — backed by a simple wall-clock loop: each benchmark is warmed
+//! up briefly, then timed for a fixed budget and reported as mean ns/iter.
+//! No statistics, plots, or baselines; good enough to keep `--benches`
+//! compiling and to give coarse relative numbers offline.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    warm_up: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(50),
+            measure: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            warm_up: self.warm_up,
+            measure: self.measure,
+            ns_per_iter: 0.0,
+        };
+        f(&mut b);
+        report(name, b.ns_per_iter);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stand-in's time-budget loop
+    /// does not count samples.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one parameterised benchmark within the group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            warm_up: self.criterion.warm_up,
+            measure: self.criterion.measure,
+            ns_per_iter: 0.0,
+        };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.0), b.ns_per_iter);
+        self
+    }
+
+    /// Runs one named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            warm_up: self.criterion.warm_up,
+            measure: self.criterion.measure,
+            ns_per_iter: 0.0,
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, name), b.ns_per_iter);
+        self
+    }
+
+    /// Finishes the group (no-op in the stand-in).
+    pub fn finish(&mut self) {}
+}
+
+/// Identifies a benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `group/function/parameter`-style id.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{}/{}", function.into(), parameter))
+    }
+
+    /// Id that is just the parameter, for single-function groups.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    warm_up: Duration,
+    measure: Duration,
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `routine` by running it in a loop for the measurement budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let warm_end = Instant::now() + self.warm_up;
+        while Instant::now() < warm_end {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        while start.elapsed() < self.measure {
+            black_box(routine());
+            iters += 1;
+        }
+        let elapsed = start.elapsed();
+        self.ns_per_iter = elapsed.as_nanos() as f64 / iters.max(1) as f64;
+    }
+}
+
+fn report(name: &str, ns_per_iter: f64) {
+    if ns_per_iter >= 1_000_000.0 {
+        println!("{name:<60} {:>12.3} ms/iter", ns_per_iter / 1_000_000.0);
+    } else if ns_per_iter >= 1_000.0 {
+        println!("{name:<60} {:>12.3} us/iter", ns_per_iter / 1_000.0);
+    } else {
+        println!("{name:<60} {:>12.1} ns/iter", ns_per_iter);
+    }
+}
+
+/// Declares a benchmark group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed group functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(c: &mut Criterion) {
+        let mut group = c.benchmark_group("tiny");
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::from_parameter(4u64), &4u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn runs_a_group_end_to_end() {
+        let mut c = Criterion {
+            warm_up: Duration::from_millis(1),
+            measure: Duration::from_millis(5),
+        };
+        tiny(&mut c);
+    }
+
+    #[test]
+    fn bencher_records_positive_timing() {
+        let mut b = Bencher {
+            warm_up: Duration::from_millis(1),
+            measure: Duration::from_millis(5),
+            ns_per_iter: 0.0,
+        };
+        b.iter(|| black_box(1u64 + 1));
+        assert!(b.ns_per_iter > 0.0);
+    }
+
+    #[test]
+    fn benchmark_ids_format_as_expected() {
+        assert_eq!(BenchmarkId::from_parameter(8).0, "8");
+        assert_eq!(BenchmarkId::new("alloc", "php").0, "alloc/php");
+    }
+}

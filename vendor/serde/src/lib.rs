@@ -1,0 +1,371 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no network access, so this workspace vendors
+//! a minimal serialization framework under serde's names. Unlike upstream
+//! serde's visitor architecture, this stand-in routes everything through a
+//! concrete JSON-like [`Value`]: [`Serialize`] renders a value tree,
+//! [`Deserialize`] rebuilds a type from one. The derive macros (vendored
+//! `serde_derive`) generate the field-by-field plumbing with upstream's
+//! externally-tagged enum representation, so JSON produced by this
+//! stand-in matches what real serde_json would produce for the types in
+//! this workspace.
+
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped value tree: the data model everything serializes through.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object, insertion-ordered.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The object entries, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// The string slice, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Looks a field up in an object.
+    pub fn get_field(&self, name: &str) -> Option<&Value> {
+        self.as_object()?
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+    }
+
+    /// One-word description of the value's kind (for error messages).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) | Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Deserialization error: what was expected and what was found.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Creates an error with an explicit message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error {
+            msg: msg.to_string(),
+        }
+    }
+
+    /// Standard "expected X, found Y" error.
+    pub fn expected(what: &str, found: &Value) -> Self {
+        Error::custom(format!("expected {what}, found {}", found.kind()))
+    }
+
+    /// Standard missing-field error.
+    pub fn missing_field(name: &str) -> Self {
+        Error::custom(format!("missing field `{name}`"))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type renderable into a [`Value`] tree.
+pub trait Serialize {
+    /// Renders `self` as a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// A type rebuildable from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a value tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when the tree's shape does not match `Self`.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---- Serialize impls for primitives and std containers ----
+
+macro_rules! impl_serialize_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+    )*};
+}
+impl_serialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 { Value::U64(v as u64) } else { Value::I64(v) }
+            }
+        }
+    )*};
+}
+impl_serialize_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(v) => v.to_value(),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+// ---- Deserialize impls ----
+
+macro_rules! impl_deserialize_uint {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::U64(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error::custom(format!("{n} out of range"))),
+                    _ => Err(Error::expected("unsigned integer", v)),
+                }
+            }
+        }
+    )*};
+}
+impl_deserialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_deserialize_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let wide: i64 = match v {
+                    Value::U64(n) => i64::try_from(*n)
+                        .map_err(|_| Error::custom(format!("{n} out of range")))?,
+                    Value::I64(n) => *n,
+                    _ => return Err(Error::expected("integer", v)),
+                };
+                <$t>::try_from(wide).map_err(|_| Error::custom(format!("{wide} out of range")))
+            }
+        }
+    )*};
+}
+impl_deserialize_int!(i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::F64(x) => Ok(*x),
+            Value::U64(n) => Ok(*n as f64),
+            Value::I64(n) => Ok(*n as f64),
+            _ => Err(Error::expected("number", v)),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::expected("bool", v)),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(Error::expected("string", v)),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(Error::expected("array", v)),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+/// Support code used by the generated derive impls (not public API).
+#[doc(hidden)]
+pub mod __private {
+    use super::{Error, Value};
+
+    /// Field lookup with a missing-field error.
+    pub fn field<'v>(v: &'v Value, name: &str) -> Result<&'v Value, Error> {
+        match v {
+            Value::Object(_) => v.get_field(name).ok_or_else(|| Error::missing_field(name)),
+            _ => Err(Error::expected("object", v)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_roundtrips() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-42i64).to_value()).unwrap(), -42);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(String::from_value(&"hi".to_value()).unwrap(), "hi");
+        let v: Vec<u32> = Deserialize::from_value(&vec![1u32, 2, 3].to_value()).unwrap();
+        assert_eq!(v, [1, 2, 3]);
+        let o: Option<u32> = Deserialize::from_value(&Value::Null).unwrap();
+        assert_eq!(o, None);
+    }
+
+    #[test]
+    fn type_mismatch_errors() {
+        assert!(u64::from_value(&Value::Str("x".into())).is_err());
+        assert!(bool::from_value(&Value::U64(1)).is_err());
+        assert!(String::from_value(&Value::Null).is_err());
+        let e = __private::field(&Value::Object(vec![]), "missing").unwrap_err();
+        assert!(e.to_string().contains("missing"));
+    }
+
+    #[test]
+    fn numbers_cross_convert() {
+        assert_eq!(f64::from_value(&Value::U64(3)).unwrap(), 3.0);
+        assert_eq!(i64::from_value(&Value::U64(3)).unwrap(), 3);
+        assert!(u32::from_value(&Value::U64(u64::MAX)).is_err());
+    }
+}

@@ -1,0 +1,281 @@
+//! Offline stand-in for the `serde_derive` crate.
+//!
+//! The build environment has no network access, so `syn`/`quote` are not
+//! available; these derives parse the item declaration directly from the
+//! raw [`proc_macro::TokenStream`]. They support exactly the shapes this
+//! workspace uses:
+//!
+//! * structs with named fields (no generics, no tuple structs);
+//! * enums whose variants are unit variants or struct variants.
+//!
+//! The generated code targets the vendored serde's concrete data model:
+//! `Serialize` renders a `serde::Value` tree, `Deserialize` rebuilds the
+//! type from one, using upstream serde's JSON conventions (maps for
+//! structs, externally-tagged representation for enums) so output matches
+//! what real `serde_json` would produce for these types.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write;
+
+/// Derives `serde::Serialize` (the stand-in's `to_value`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let mut out = String::new();
+    let name = &item.name;
+    write!(
+        out,
+        "impl serde::Serialize for {name} {{ fn to_value(&self) -> serde::Value {{"
+    )
+    .unwrap();
+    match &item.shape {
+        Shape::Struct(fields) => {
+            out.push_str("serde::Value::Object(::std::vec![");
+            for f in fields {
+                write!(
+                    out,
+                    "(::std::string::String::from(\"{f}\"), serde::Serialize::to_value(&self.{f})),"
+                )
+                .unwrap();
+            }
+            out.push_str("])");
+        }
+        Shape::Enum(variants) => {
+            out.push_str("match self {");
+            for (v, fields) in variants {
+                match fields {
+                    None => write!(
+                        out,
+                        "{name}::{v} => serde::Value::Str(::std::string::String::from(\"{v}\")),"
+                    )
+                    .unwrap(),
+                    Some(fs) => {
+                        write!(out, "{name}::{v} {{ {} }} => ", fs.join(", ")).unwrap();
+                        out.push_str(
+                            "serde::Value::Object(::std::vec![(::std::string::String::from(\"",
+                        );
+                        write!(out, "{v}\"), serde::Value::Object(::std::vec![").unwrap();
+                        for f in fs {
+                            write!(
+                                out,
+                                "(::std::string::String::from(\"{f}\"), serde::Serialize::to_value({f})),"
+                            )
+                            .unwrap();
+                        }
+                        out.push_str("]))]),");
+                    }
+                }
+            }
+            out.push('}');
+        }
+    }
+    out.push_str("}}");
+    out.parse()
+        .expect("serde_derive stand-in generated invalid Serialize impl")
+}
+
+/// Derives `serde::Deserialize` (the stand-in's `from_value`).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let mut out = String::new();
+    let name = &item.name;
+    write!(
+        out,
+        "impl serde::Deserialize for {name} {{ \
+         fn from_value(v: &serde::Value) -> ::std::result::Result<Self, serde::Error> {{"
+    )
+    .unwrap();
+    match &item.shape {
+        Shape::Struct(fields) => {
+            write!(out, "Ok({name} {{").unwrap();
+            for f in fields {
+                write!(
+                    out,
+                    "{f}: serde::Deserialize::from_value(serde::__private::field(v, \"{f}\")?)?,"
+                )
+                .unwrap();
+            }
+            out.push_str("})");
+        }
+        Shape::Enum(variants) => {
+            // Externally tagged: unit variants are strings, struct variants
+            // are single-entry objects keyed by the variant name.
+            out.push_str("match v { serde::Value::Str(s) => match s.as_str() {");
+            for (v, fields) in variants {
+                if fields.is_none() {
+                    write!(out, "\"{v}\" => Ok({name}::{v}),").unwrap();
+                }
+            }
+            write!(
+                out,
+                "other => Err(serde::Error::custom(::std::format!(\
+                 \"unknown {name} variant `{{other}}`\"))), }},"
+            )
+            .unwrap();
+            out.push_str(
+                "serde::Value::Object(pairs) if pairs.len() == 1 => { \
+                 let (tag, inner) = &pairs[0]; match tag.as_str() {",
+            );
+            for (v, fields) in variants {
+                match fields {
+                    Some(fs) => {
+                        write!(out, "\"{v}\" => Ok({name}::{v} {{").unwrap();
+                        for f in fs {
+                            write!(
+                                out,
+                                "{f}: serde::Deserialize::from_value(\
+                                 serde::__private::field(inner, \"{f}\")?)?,"
+                            )
+                            .unwrap();
+                        }
+                        out.push_str("}),");
+                    }
+                    // Upstream serde also accepts the map form
+                    // `{"Variant": null}` for unit variants.
+                    None => write!(
+                        out,
+                        "\"{v}\" if ::std::matches!(inner, serde::Value::Null) => \
+                         Ok({name}::{v}),"
+                    )
+                    .unwrap(),
+                }
+            }
+            write!(
+                out,
+                "other => Err(serde::Error::custom(::std::format!(\
+                 \"unknown {name} variant `{{other}}`\"))), }} }},"
+            )
+            .unwrap();
+            write!(
+                out,
+                "other => Err(serde::Error::expected(\"{name}\", other)), }}"
+            )
+            .unwrap();
+        }
+    }
+    out.push_str("}}");
+    out.parse()
+        .expect("serde_derive stand-in generated invalid Deserialize impl")
+}
+
+/// What a derive input boils down to: field names, or variants with
+/// optional struct-variant field names.
+enum Shape {
+    Struct(Vec<String>),
+    Enum(Vec<(String, Option<Vec<String>>)>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// Parses `#[attrs] pub struct Name { ... }` / `#[attrs] pub enum Name
+/// { ... }` from the raw token stream.
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&toks, 0);
+    let kw = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive stand-in: expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive stand-in: expected type name, found {other}"),
+    };
+    i += 1;
+    let body = match toks.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        _ => panic!(
+            "serde_derive stand-in supports only brace-bodied, non-generic structs and enums \
+             (deriving for `{name}`)"
+        ),
+    };
+    let shape = match kw.as_str() {
+        "struct" => Shape::Struct(parse_named_fields(body)),
+        "enum" => Shape::Enum(parse_variants(body)),
+        other => panic!("serde_derive stand-in: cannot derive for `{other}` items"),
+    };
+    Item { name, shape }
+}
+
+/// Advances past `#[...]` attributes (including doc comments) and a `pub`
+/// / `pub(...)` visibility prefix.
+fn skip_attrs_and_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 1;
+                if matches!(toks.get(i), Some(TokenTree::Group(_))) {
+                    i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Splits a brace-group body on top-level commas (groups nest, so a single
+/// `TokenTree::Group` never leaks an inner comma).
+fn split_commas(body: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = vec![Vec::new()];
+    for t in body {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == ',' => chunks.push(Vec::new()),
+            _ => chunks.last_mut().expect("nonempty").push(t),
+        }
+    }
+    chunks.retain(|c| !c.is_empty());
+    chunks
+}
+
+/// Field names of a named-field body: the ident preceding each top-level
+/// `:`.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    split_commas(body)
+        .into_iter()
+        .map(|chunk| {
+            let start = skip_attrs_and_vis(&chunk, 0);
+            match (&chunk.get(start), &chunk.get(start + 1)) {
+                (Some(TokenTree::Ident(id)), Some(TokenTree::Punct(p))) if p.as_char() == ':' => {
+                    id.to_string()
+                }
+                _ => panic!("serde_derive stand-in: expected `name: Type` field"),
+            }
+        })
+        .collect()
+}
+
+/// Variants of an enum body: name plus `Some(fields)` for struct variants.
+fn parse_variants(body: TokenStream) -> Vec<(String, Option<Vec<String>>)> {
+    split_commas(body)
+        .into_iter()
+        .map(|chunk| {
+            let start = skip_attrs_and_vis(&chunk, 0);
+            let name = match chunk.get(start) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                _ => panic!("serde_derive stand-in: expected variant name"),
+            };
+            match chunk.get(start + 1) {
+                None => (name, None),
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    (name, Some(parse_named_fields(g.stream())))
+                }
+                Some(other) => panic!(
+                    "serde_derive stand-in: variant `{name}` has unsupported shape near {other} \
+                     (tuple variants and discriminants are not supported)"
+                ),
+            }
+        })
+        .collect()
+}
