@@ -148,7 +148,13 @@ pub struct OpStats {
 ///   [`Category::MemoryManagement`] and select their own code region on
 ///   entry, and restore the category to [`Category::Application`] on exit.
 ///   Callers re-select their code region before executing their own code.
-pub trait Allocator {
+///
+/// The [`HeapTelemetry`](webmm_obs::HeapTelemetry) supertrait makes every
+/// allocator live-inspectable: `heap_snapshot` reports size-class
+/// occupancy, free-list lengths, segment counts and cumulative `freeAll`
+/// cost from Rust-side mirror counters, without touching the port or the
+/// simulated heap.
+pub trait Allocator: webmm_obs::HeapTelemetry {
     /// Display name, matching the paper's figures where applicable.
     fn name(&self) -> &'static str;
 

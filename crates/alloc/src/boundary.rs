@@ -73,6 +73,13 @@ pub(crate) struct BoundaryHeap {
     current_arena: usize,
     tx_alloc_bytes: u64,
     peak_tx_alloc: u64,
+    /// Telemetry mirrors (Rust-side, never read by the simulation): live
+    /// block count, free-list population, and the touched high-water mark.
+    /// Mirrors exist so `HeapTelemetry` snapshots need no port access.
+    live_blocks: u64,
+    free_blocks: u64,
+    free_bytes: u64,
+    touched_hw: u64,
 }
 
 impl BoundaryHeap {
@@ -101,6 +108,10 @@ impl BoundaryHeap {
             current_arena: 0,
             tx_alloc_bytes: 0,
             peak_tx_alloc: 0,
+            live_blocks: 0,
+            free_blocks: 0,
+            free_bytes: 0,
+            touched_hw: 0,
         }
     }
 
@@ -122,6 +133,34 @@ impl BoundaryHeap {
     /// Peak bytes allocated within one transaction (reset-to-reset).
     pub fn peak_tx_alloc(&self) -> u64 {
         self.peak_tx_alloc
+    }
+
+    /// Telemetry snapshot of this engine's internals, answered entirely
+    /// from the Rust-side mirrors. Wrappers fill in `allocator` and any
+    /// family-specific fields (classes, freeAll cost) on top.
+    pub fn snapshot(&self) -> webmm_obs::HeapSnapshot {
+        webmm_obs::HeapSnapshot {
+            heap_bytes: self.heap_bytes(),
+            touched_bytes: self.touched_hw,
+            metadata_bytes: self.metadata_bytes(),
+            tx_live_bytes: self.tx_alloc_bytes,
+            peak_tx_bytes: self.peak_tx_alloc,
+            segments: self.arenas.len() as u64,
+            free_list_len: self.free_blocks,
+            free_bytes: self.free_bytes(),
+            classes: vec![webmm_obs::ClassOccupancy {
+                class: 0,
+                object_size: 0, // boundary tags have no size classes
+                live: self.live_blocks,
+                free: self.free_blocks,
+            }],
+            ..webmm_obs::HeapSnapshot::default()
+        }
+    }
+
+    /// Free-list bytes currently binned (telemetry mirror).
+    pub fn free_bytes(&self) -> u64 {
+        self.free_bytes
     }
 
     /// Whether `addr` falls inside one of this heap's arenas. Used by
@@ -202,7 +241,9 @@ impl BoundaryHeap {
     /// Inserts free block `b` (header already written) into its bin. In
     /// sorted mode, large bins are kept in ascending size order (Lea-style),
     /// which costs an insertion walk.
-    fn bin_insert(&self, port: &mut dyn MemoryPort, l: &Layout, b: Addr, size: u64) {
+    fn bin_insert(&mut self, port: &mut dyn MemoryPort, l: &Layout, b: Addr, size: u64) {
+        self.free_blocks += 1;
+        self.free_bytes += size;
         let bin = Self::bin_of(size);
         let head_addr = l.bins + bin as u64 * 8;
         let head = port.load_u64(head_addr);
@@ -252,7 +293,9 @@ impl BoundaryHeap {
     }
 
     /// Unlinks free block `b` of size `size` from its bin.
-    fn bin_unlink(&self, port: &mut dyn MemoryPort, l: &Layout, b: Addr, size: u64) {
+    fn bin_unlink(&mut self, port: &mut dyn MemoryPort, l: &Layout, b: Addr, size: u64) {
+        self.free_blocks = self.free_blocks.saturating_sub(1);
+        self.free_bytes = self.free_bytes.saturating_sub(size);
         let bin = Self::bin_of(size);
         let next = port.load_u64(b + HEADER);
         let prev = port.load_u64(b + HEADER + 8);
@@ -352,6 +395,8 @@ impl BoundaryHeap {
                 let base = self.arenas[self.current_arena];
                 let hw = &mut self.carved[self.current_arena];
                 *hw = (*hw).max((cursor + need) - base);
+                let total: u64 = self.carved.iter().sum();
+                self.touched_hw = self.touched_hw.max(total);
                 return Ok(cursor);
             }
             // Turn the arena remainder into a free block, then open the
@@ -466,6 +511,7 @@ impl BoundaryHeap {
 
         self.tx_alloc_bytes += need;
         self.peak_tx_alloc = self.peak_tx_alloc.max(self.tx_alloc_bytes);
+        self.live_blocks += 1;
         Ok(payload)
     }
 
@@ -479,6 +525,9 @@ impl BoundaryHeap {
         let mut prev_used = flags & F_PREV_USED != 0;
         self.exec(port, 8);
         self.tx_alloc_bytes = self.tx_alloc_bytes.saturating_sub(size);
+        // Mirror decrement here, before the early returns below (wilderness
+        // absorption frees a block without ever binning it).
+        self.live_blocks = self.live_blocks.saturating_sub(1);
 
         // COALESCE with the physical successor if it is free.
         let in_current_arena = self.arena_of(b) == self.current_arena;
@@ -556,6 +605,9 @@ impl BoundaryHeap {
         port.store_u64(l.limit, (arena + self.arena_bytes).raw());
         port.exec(30 + 2 * N_BINS as u64);
         self.tx_alloc_bytes = 0;
+        self.live_blocks = 0;
+        self.free_blocks = 0;
+        self.free_bytes = 0;
     }
 }
 
@@ -616,5 +668,24 @@ mod tests {
         let mut h = BoundaryHeap::new(1 << 20, 4, false);
         let a = h.malloc(&mut port, 100).unwrap();
         assert_eq!(h.usable(&mut port, a), 104); // 100+16 → 120 block − 16
+    }
+
+    #[test]
+    fn telemetry_mirrors_track_binned_blocks() {
+        let mut port = PlainPort::new();
+        let mut h = BoundaryHeap::new(1 << 20, 4, false);
+        let a = h.malloc(&mut port, 100).unwrap();
+        h.malloc(&mut port, 64).unwrap(); // guard against wilderness absorb
+        assert_eq!(h.free_bytes(), 0);
+        let s = h.snapshot();
+        assert_eq!((s.free_list_len, s.classes[0].live), (0, 2));
+        h.free(&mut port, a);
+        assert_eq!(h.free_bytes(), 120); // whole block, header included
+        let s = h.snapshot();
+        assert_eq!((s.free_list_len, s.classes[0].live), (1, 1));
+        assert!(s.touched_bytes >= 120 + 80);
+        h.reset(&mut port);
+        assert_eq!(h.free_bytes(), 0);
+        assert_eq!(h.snapshot().live_objects(), 0);
     }
 }

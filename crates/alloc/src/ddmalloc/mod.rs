@@ -128,6 +128,15 @@ pub struct DdMalloc {
     hw_mirror: u64,
     tx_alloc_bytes: u64,
     peak_tx_alloc: u64,
+    /// Telemetry mirrors (never read by the simulation): per-class live
+    /// object and free-list-length counts, which classes hold a primary
+    /// segment, segments currently marked used, and cumulative `freeAll`
+    /// wall cost.
+    class_live: Vec<u64>,
+    class_free: Vec<u64>,
+    hint_set: Vec<bool>,
+    segs_used: u64,
+    free_all_ns: u64,
 }
 
 impl DdMalloc {
@@ -135,6 +144,7 @@ impl DdMalloc {
     /// materialized lazily on first allocation.
     pub fn new(config: DdConfig) -> Self {
         let classes = SizeClasses::new(config.segment_bytes, config.mapping);
+        let n = classes.count();
         DdMalloc {
             config,
             classes,
@@ -144,6 +154,11 @@ impl DdMalloc {
             hw_mirror: 0,
             tx_alloc_bytes: 0,
             peak_tx_alloc: 0,
+            class_live: vec![0; n],
+            class_free: vec![0; n],
+            hint_set: vec![false; n],
+            segs_used: 0,
+            free_all_ns: 0,
         }
     }
 
@@ -302,6 +317,8 @@ impl DdMalloc {
             let next = port.load_u64(head);
             port.store_u64(chain_addr, next);
             port.exec(4);
+            self.class_free[class] = self.class_free[class].saturating_sub(1);
+            self.class_live[class] += 1;
             return Ok(head);
         }
 
@@ -320,6 +337,7 @@ impl DdMalloc {
                 port.store_u64(tail_addr, 0);
             }
             port.exec(6);
+            self.class_live[class] += 1;
             return Ok(tail);
         }
 
@@ -347,6 +365,9 @@ impl DdMalloc {
             port.store_u64(tail_addr, second.raw());
         }
         port.exec(14);
+        self.hint_set[class] = true;
+        self.segs_used += 1;
+        self.class_live[class] += 1;
         Ok(seg_addr)
     }
 
@@ -363,6 +384,7 @@ impl DdMalloc {
         }
         port.store_u32(l.span_base + first * 4, need as u32);
         port.exec(12 + 2 * need);
+        self.segs_used += need;
         Ok(self.seg_addr(l, first))
     }
 
@@ -387,6 +409,39 @@ impl DdMalloc {
     fn note_alloc(&mut self, rounded: u64) {
         self.tx_alloc_bytes += rounded;
         self.peak_tx_alloc = self.peak_tx_alloc.max(self.tx_alloc_bytes);
+    }
+}
+
+impl webmm_obs::HeapTelemetry for DdMalloc {
+    fn heap_snapshot(&self) -> webmm_obs::HeapSnapshot {
+        let n_classes = self.classes.count() as u64;
+        let n_segs = u64::from(self.config.max_segments);
+        webmm_obs::HeapSnapshot {
+            allocator: "our DDmalloc".into(),
+            heap_bytes: self.hw_mirror * self.config.segment_bytes,
+            // Segments are carved sequentially: the high-water mark *is*
+            // the touched extent (the paper's Fig. 9 definition for
+            // DDmalloc: allocated segments plus metadata).
+            touched_bytes: self.hw_mirror * self.config.segment_bytes,
+            metadata_bytes: n_classes * 16 + n_segs + n_segs * 4 + 16,
+            tx_live_bytes: self.tx_alloc_bytes,
+            peak_tx_bytes: self.peak_tx_alloc,
+            segments: self.segs_used,
+            free_list_len: self.class_free.iter().sum(),
+            free_bytes: (0..self.classes.count())
+                .map(|c| self.class_free[c] * self.classes.size_of(c))
+                .sum(),
+            free_all_count: self.stats.free_alls,
+            free_all_ns: self.free_all_ns,
+            classes: (0..self.classes.count())
+                .map(|c| webmm_obs::ClassOccupancy {
+                    class: c as u32,
+                    object_size: self.classes.size_of(c),
+                    live: self.class_live[c],
+                    free: self.class_free[c],
+                })
+                .collect(),
+        }
     }
 }
 
@@ -461,6 +516,7 @@ impl Allocator for DdMalloc {
             self.tx_alloc_bytes = self
                 .tx_alloc_bytes
                 .saturating_sub(span * self.config.segment_bytes);
+            self.segs_used = self.segs_used.saturating_sub(span);
         } else {
             debug_assert!(
                 tag != SEG_FREE,
@@ -475,6 +531,8 @@ impl Allocator for DdMalloc {
             self.tx_alloc_bytes = self
                 .tx_alloc_bytes
                 .saturating_sub(self.classes.size_of(class));
+            self.class_live[class] = self.class_live[class].saturating_sub(1);
+            self.class_free[class] += 1;
         }
         self.stats.frees += 1;
         exit_mm(port);
@@ -517,6 +575,9 @@ impl Allocator for DdMalloc {
     }
 
     fn free_all(&mut self, port: &mut dyn MemoryPort) {
+        // Wall-clock timing feeds telemetry only; it never enters the
+        // simulated instruction counts.
+        let t0 = std::time::Instant::now();
         let spec = self.code_spec();
         enter_mm(port, &mut self.code_id, spec);
         let l = self.layout(port);
@@ -554,6 +615,12 @@ impl Allocator for DdMalloc {
         port.exec(24 + 6 * n_classes + 2 * (hw / 8));
         self.stats.free_alls += 1;
         self.tx_alloc_bytes = 0;
+        // Mirrors: only the retained primary segments stay used, free
+        // lists are gone, nothing is live.
+        self.class_live.iter_mut().for_each(|c| *c = 0);
+        self.class_free.iter_mut().for_each(|c| *c = 0);
+        self.segs_used = self.hint_set.iter().filter(|&&h| h).count() as u64;
+        self.free_all_ns += t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
         exit_mm(port);
     }
 

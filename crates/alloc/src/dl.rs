@@ -71,6 +71,16 @@ impl DlAlloc {
     }
 }
 
+impl webmm_obs::HeapTelemetry for DlAlloc {
+    fn heap_snapshot(&self) -> webmm_obs::HeapSnapshot {
+        webmm_obs::HeapSnapshot {
+            allocator: "glibc".into(),
+            // No freeAll here, ever: free_all_count/free_all_ns stay 0.
+            ..self.heap.snapshot()
+        }
+    }
+}
+
 impl Allocator for DlAlloc {
     fn name(&self) -> &'static str {
         "glibc"

@@ -18,6 +18,7 @@ use crate::api::{
     OpStats,
 };
 use crate::boundary::BoundaryHeap;
+use std::collections::HashMap;
 use webmm_sim::{Addr, CodeRegionId, CodeSpec, MemoryPort, PageSize};
 
 /// Superblock size.
@@ -88,6 +89,14 @@ pub struct HoardAlloc {
     superblocks: u64,
     tx_alloc_bytes: u64,
     peak_tx_alloc: u64,
+    /// Telemetry mirrors: live/free small objects per class, per-superblock
+    /// free-list counts (`addr → (class, free objects)`; needed because a
+    /// superblock returning to the global pool retires its whole free list
+    /// at once), and the pooled-superblock count.
+    class_live: [u64; N_CLASSES],
+    class_free: [u64; N_CLASSES],
+    sb_free: HashMap<u64, (usize, u64)>,
+    pooled: u64,
 }
 
 impl HoardAlloc {
@@ -102,6 +111,10 @@ impl HoardAlloc {
             superblocks: 0,
             tx_alloc_bytes: 0,
             peak_tx_alloc: 0,
+            class_live: [0; N_CLASSES],
+            class_free: [0; N_CLASSES],
+            sb_free: HashMap::new(),
+            pooled: 0,
         }
     }
 
@@ -166,6 +179,7 @@ impl HoardAlloc {
         port.exec(4);
         let sb = if !pooled.is_null() {
             self.sb_unlink(port, l.pool, pooled);
+            self.pooled = self.pooled.saturating_sub(1);
             pooled
         } else {
             if self.superblocks >= u64::from(self.config.max_superblocks) {
@@ -181,8 +195,46 @@ impl HoardAlloc {
         port.store_u64(sb + H_USED, 0);
         port.store_u64(sb + H_BUMP, SB_HEADER);
         port.exec(8);
+        self.sb_free.insert(sb.raw(), (class, 0));
         self.sb_push(port, l.avail + class as u64 * 8, sb);
         Ok(sb)
+    }
+}
+
+impl webmm_obs::HeapTelemetry for HoardAlloc {
+    fn heap_snapshot(&self) -> webmm_obs::HeapSnapshot {
+        let large = self.large.snapshot();
+        webmm_obs::HeapSnapshot {
+            allocator: "Hoard".into(),
+            heap_bytes: self.superblocks * SB_BYTES + large.heap_bytes,
+            // Superblocks are header-initialized on acquisition and carved
+            // densely, so every mmap'd superblock counts as touched.
+            touched_bytes: self.superblocks * SB_BYTES + large.touched_bytes,
+            metadata_bytes: (N_CLASSES as u64) * 8
+                + 8
+                + self.superblocks * SB_HEADER
+                + large.metadata_bytes,
+            tx_live_bytes: self.tx_alloc_bytes,
+            peak_tx_bytes: self.peak_tx_alloc,
+            // In-use superblocks only; pooled ones sit in the global heap.
+            segments: self.superblocks.saturating_sub(self.pooled) + large.segments,
+            free_list_len: self.class_free.iter().sum::<u64>() + large.free_list_len,
+            free_bytes: (0..N_CLASSES)
+                .map(|c| self.class_free[c] * Self::class_size(c))
+                .sum::<u64>()
+                + large.free_bytes,
+            // No freeAll here, ever: free_all_count/free_all_ns stay 0.
+            free_all_count: 0,
+            free_all_ns: 0,
+            classes: (0..N_CLASSES)
+                .map(|c| webmm_obs::ClassOccupancy {
+                    class: c as u32,
+                    object_size: Self::class_size(c),
+                    live: self.class_live[c],
+                    free: self.class_free[c],
+                })
+                .collect(),
+        }
     }
 }
 
@@ -232,6 +284,10 @@ impl Allocator for HoardAlloc {
                 let next = port.load_u64(free);
                 port.store_u64(sb + H_FREE, next);
                 port.exec(4);
+                self.class_free[class] = self.class_free[class].saturating_sub(1);
+                if let Some(e) = self.sb_free.get_mut(&sb.raw()) {
+                    e.1 = e.1.saturating_sub(1);
+                }
                 free
             } else {
                 let bump = port.load_u64(sb + H_BUMP);
@@ -251,6 +307,7 @@ impl Allocator for HoardAlloc {
                 port.exec(4);
             }
             self.tx_alloc_bytes += Self::class_size(class);
+            self.class_live[class] += 1;
             Ok(obj)
         };
         if result.is_ok() {
@@ -284,6 +341,9 @@ impl Allocator for HoardAlloc {
         // maintenance) costs more than a plain list push.
         port.exec(18);
         self.tx_alloc_bytes = self.tx_alloc_bytes.saturating_sub(Self::class_size(class));
+        self.class_live[class] = self.class_live[class].saturating_sub(1);
+        self.class_free[class] += 1;
+        self.sb_free.entry(sb.raw()).or_insert((class, 0)).1 += 1;
 
         // Emptiness-class transitions.
         let bump = port.load_u64(sb + H_BUMP);
@@ -297,6 +357,13 @@ impl Allocator for HoardAlloc {
             self.sb_unlink(port, head_addr, sb);
             self.sb_push(port, l.pool, sb);
             port.exec(4);
+            // The pooled superblock's free list dies with it (it is rebuilt
+            // from scratch on reacquisition), so retire its free objects
+            // from the class mirror in one step.
+            if let Some((cls, cnt)) = self.sb_free.remove(&sb.raw()) {
+                self.class_free[cls] = self.class_free[cls].saturating_sub(cnt);
+            }
+            self.pooled += 1;
         }
         self.stats.frees += 1;
         exit_mm(port);

@@ -59,3 +59,4 @@ pub use php_default::{PhpConfig, PhpDefaultAlloc};
 pub use reaps::{ReapAlloc, ReapConfig};
 pub use region::{RegionAlloc, RegionConfig};
 pub use tcmalloc::{TcAlloc, TcConfig};
+pub use webmm_obs::{ClassOccupancy, HeapSnapshot, HeapTelemetry};

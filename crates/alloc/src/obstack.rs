@@ -51,6 +51,10 @@ pub struct ObstackAlloc {
     stats: OpStats,
     tx_alloc_bytes: u64,
     peak_tx_alloc: u64,
+    /// Telemetry mirrors: objects bumped since the last rewind, and
+    /// cumulative `freeAll` wall cost.
+    tx_objs: u64,
+    free_all_ns: u64,
 }
 
 impl ObstackAlloc {
@@ -65,6 +69,8 @@ impl ObstackAlloc {
             stats: OpStats::default(),
             tx_alloc_bytes: 0,
             peak_tx_alloc: 0,
+            tx_objs: 0,
+            free_all_ns: 0,
         }
     }
 
@@ -87,6 +93,29 @@ impl ObstackAlloc {
         port.store_u64(chunk + 8, (chunk + self.config.chunk_bytes).raw());
         port.exec(8);
         chunk
+    }
+}
+
+impl webmm_obs::HeapTelemetry for ObstackAlloc {
+    fn heap_snapshot(&self) -> webmm_obs::HeapSnapshot {
+        webmm_obs::HeapSnapshot {
+            allocator: "GNU obstack".into(),
+            heap_bytes: self.chunks.len() as u64 * self.config.chunk_bytes,
+            touched_bytes: self.peak_tx_alloc,
+            metadata_bytes: 64 + self.chunks.len() as u64 * CHUNK_HEADER,
+            tx_live_bytes: self.tx_alloc_bytes,
+            peak_tx_bytes: self.peak_tx_alloc,
+            segments: self.chunks.len() as u64,
+            free_all_count: self.stats.free_alls,
+            free_all_ns: self.free_all_ns,
+            classes: vec![webmm_obs::ClassOccupancy {
+                class: 0,
+                object_size: 0,
+                live: self.tx_objs,
+                free: 0,
+            }],
+            ..webmm_obs::HeapSnapshot::default()
+        }
     }
 }
 
@@ -153,6 +182,7 @@ impl Allocator for ObstackAlloc {
         self.stats.bytes_requested += size;
         self.tx_alloc_bytes += rounded;
         self.peak_tx_alloc = self.peak_tx_alloc.max(self.tx_alloc_bytes);
+        self.tx_objs += 1;
         exit_mm(port);
         Ok(obj)
     }
@@ -187,6 +217,7 @@ impl Allocator for ObstackAlloc {
     }
 
     fn free_all(&mut self, port: &mut dyn MemoryPort) {
+        let t0 = std::time::Instant::now();
         let spec = self.code_spec();
         enter_mm(port, &mut self.code_id, spec);
         let cursor_addr = self.init(port);
@@ -195,6 +226,8 @@ impl Allocator for ObstackAlloc {
         port.exec(4);
         self.stats.free_alls += 1;
         self.tx_alloc_bytes = 0;
+        self.tx_objs = 0;
+        self.free_all_ns += t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
         exit_mm(port);
     }
 

@@ -60,6 +60,8 @@ pub struct PhpDefaultAlloc {
     heap: BoundaryHeap,
     code_id: Option<CodeRegionId>,
     stats: OpStats,
+    /// Cumulative `freeAll` wall cost (telemetry mirror).
+    free_all_ns: u64,
 }
 
 impl PhpDefaultAlloc {
@@ -69,6 +71,18 @@ impl PhpDefaultAlloc {
             heap: BoundaryHeap::with_exec_scale(config.arena_bytes, config.max_arenas, false, 0.7),
             code_id: None,
             stats: OpStats::default(),
+            free_all_ns: 0,
+        }
+    }
+}
+
+impl webmm_obs::HeapTelemetry for PhpDefaultAlloc {
+    fn heap_snapshot(&self) -> webmm_obs::HeapSnapshot {
+        webmm_obs::HeapSnapshot {
+            allocator: "default allocator of the PHP runtime".into(),
+            free_all_count: self.stats.free_alls,
+            free_all_ns: self.free_all_ns,
+            ..self.heap.snapshot()
         }
     }
 }
@@ -148,10 +162,12 @@ impl Allocator for PhpDefaultAlloc {
     }
 
     fn free_all(&mut self, port: &mut dyn MemoryPort) {
+        let t0 = std::time::Instant::now();
         let spec = self.code_spec();
         enter_mm(port, &mut self.code_id, spec);
         self.heap.reset(port);
         self.stats.free_alls += 1;
+        self.free_all_ns += t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
         exit_mm(port);
     }
 

@@ -99,6 +99,13 @@ pub struct TcAlloc {
     spans_mirror: u64,
     tx_alloc_bytes: u64,
     peak_tx_alloc: u64,
+    /// Telemetry mirrors: live small objects, thread-cache free-list
+    /// lengths, and central free-list lengths, all per class. They shadow
+    /// the `tc_len`/list state kept in simulated memory so snapshots never
+    /// touch the port.
+    class_live: [u64; N_CLASSES],
+    tc_free: [u64; N_CLASSES],
+    central_free: [u64; N_CLASSES],
 }
 
 impl TcAlloc {
@@ -113,6 +120,9 @@ impl TcAlloc {
             spans_mirror: 0,
             tx_alloc_bytes: 0,
             peak_tx_alloc: 0,
+            class_live: [0; N_CLASSES],
+            tc_free: [0; N_CLASSES],
+            central_free: [0; N_CLASSES],
         }
     }
 
@@ -163,6 +173,7 @@ impl TcAlloc {
 
         let mut got: Option<Addr> = None;
         let mut moved = 0u64;
+        let mut from_central = 0u64;
         // 1. Drain the central list first.
         let mut central = Addr::new(port.load_u64(central_addr));
         port.exec(6);
@@ -177,9 +188,11 @@ impl TcAlloc {
             }
             central = next;
             moved += 1;
+            from_central += 1;
             port.exec(4);
         }
         port.store_u64(central_addr, central.raw());
+        self.central_free[class] = self.central_free[class].saturating_sub(from_central);
 
         // 2. Carve the rest from the open span.
         while moved < BATCH {
@@ -223,6 +236,7 @@ impl TcAlloc {
         let len = port.load_u64(tc_len_addr);
         port.store_u64(tc_len_addr, len + moved.saturating_sub(1));
         port.exec(4);
+        self.tc_free[class] += moved.saturating_sub(1);
         got.ok_or(AllocError::OutOfMemory { requested: size })
     }
 
@@ -248,6 +262,8 @@ impl TcAlloc {
         let len = port.load_u64(tc_len_addr);
         port.store_u64(tc_len_addr, len - moved);
         port.exec(8);
+        self.tc_free[class] = self.tc_free[class].saturating_sub(moved);
+        self.central_free[class] += moved;
     }
 
     /// Span index and class for a small-object address.
@@ -257,6 +273,44 @@ impl TcAlloc {
         debug_assert!(tag > 0, "free of address in an unused span");
         port.exec(3);
         usize::from(tag - 1)
+    }
+}
+
+impl webmm_obs::HeapTelemetry for TcAlloc {
+    fn heap_snapshot(&self) -> webmm_obs::HeapSnapshot {
+        let ph = self.page_heap.snapshot();
+        webmm_obs::HeapSnapshot {
+            allocator: "TCmalloc".into(),
+            heap_bytes: self.spans_mirror * SPAN_BYTES + ph.heap_bytes,
+            // Spans are carved sequentially from the reserved area, so the
+            // span high-water mark is the touched extent.
+            touched_bytes: self.spans_mirror * SPAN_BYTES + ph.touched_bytes,
+            metadata_bytes: (N_CLASSES as u64) * 40
+                + 8
+                + u64::from(self.config.max_spans)
+                + ph.metadata_bytes,
+            tx_live_bytes: self.tx_alloc_bytes,
+            peak_tx_bytes: self.peak_tx_alloc,
+            segments: self.spans_mirror + ph.segments,
+            free_list_len: self.tc_free.iter().sum::<u64>()
+                + self.central_free.iter().sum::<u64>()
+                + ph.free_list_len,
+            free_bytes: (0..N_CLASSES)
+                .map(|c| (self.tc_free[c] + self.central_free[c]) * CLASS_SIZES[c])
+                .sum::<u64>()
+                + ph.free_bytes,
+            // No freeAll here, ever: free_all_count/free_all_ns stay 0.
+            free_all_count: 0,
+            free_all_ns: 0,
+            classes: (0..N_CLASSES)
+                .map(|c| webmm_obs::ClassOccupancy {
+                    class: c as u32,
+                    object_size: CLASS_SIZES[c],
+                    live: self.class_live[c],
+                    free: self.tc_free[c] + self.central_free[c],
+                })
+                .collect(),
+        }
     }
 }
 
@@ -307,12 +361,14 @@ impl Allocator for TcAlloc {
                     let len = port.load_u64(len_addr);
                     port.store_u64(len_addr, len.saturating_sub(1));
                     port.exec(8);
+                    self.tc_free[class] = self.tc_free[class].saturating_sub(1);
                     Ok(head)
                 } else {
                     self.refill(port, &l, class)
                 };
                 if r.is_ok() {
                     self.tx_alloc_bytes += CLASS_SIZES[class];
+                    self.class_live[class] += 1;
                 }
                 r
             }
@@ -347,6 +403,8 @@ impl Allocator for TcAlloc {
         port.store_u64(len_addr, len);
         port.exec(12);
         self.tx_alloc_bytes = self.tx_alloc_bytes.saturating_sub(CLASS_SIZES[class]);
+        self.class_live[class] = self.class_live[class].saturating_sub(1);
+        self.tc_free[class] += 1;
         if len >= RELEASE_AT {
             self.release_to_central(port, &l, class);
         }

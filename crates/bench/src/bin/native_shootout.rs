@@ -14,26 +14,37 @@
 //! cargo run --release -p webmm-bench --bin native_shootout -- \
 //!     --workers 4 --tx 10000 [--scale 1024] [--seed 42] \
 //!     [--policy block|reject|shed-oldest] [--capacity 128] \
-//!     [--out BENCH_native.json]
+//!     [--out BENCH_native.json] \
+//!     [--obs-interval 10ms] [--obs-out OBS_native.jsonl]
 //! ```
 //!
 //! Writes every cell of the sweep to `BENCH_native.json`
-//! (allocator, workers, tx_per_sec, p50/p95/p99 ns).
+//! (allocator, workers, tx_per_sec, latency summary). With
+//! `--obs-interval`, every cell runs with live telemetry attached: a
+//! sampler snapshots queue depth, sliding-window latency quantiles and
+//! per-worker heap occupancy at that interval, the last sample of each
+//! cell is rendered as a dashboard, and `--obs-out` collects the full
+//! time series of all cells into one JSONL file (the `run` field names
+//! the cell, e.g. `ddmalloc-w4`).
 
+use std::time::Duration;
 use webmm_alloc::AllocatorKind;
 use webmm_profiler::report::{heading, table};
-use webmm_server::{drive_closed, AdmissionPolicy, Server, ServerConfig, TxFactory};
+use webmm_server::{
+    drive_closed, render_dashboard, AdmissionPolicy, LatencySummary, ObsConfig, Server,
+    ServerConfig, TxFactory,
+};
 use webmm_workload::phpbb;
 
-/// One cell of the sweep, as serialized into `BENCH_native.json`.
+/// One cell of the sweep, as serialized into `BENCH_native.json`. The
+/// latency block is the same [`LatencySummary`] the live telemetry
+/// samples embed, so offline and live JSON share one schema.
 #[derive(Debug, serde::Serialize, serde::Deserialize)]
 struct NativeBenchEntry {
     allocator: String,
     workers: u64,
     tx_per_sec: f64,
-    p50_ns: u64,
-    p95_ns: u64,
-    p99_ns: u64,
+    latency: LatencySummary,
     completed: u64,
     shed: u64,
 }
@@ -46,6 +57,21 @@ struct Args {
     policy: AdmissionPolicy,
     capacity: usize,
     out: String,
+    obs_interval: Option<Duration>,
+    obs_out: Option<String>,
+}
+
+/// Parses `10ms`, `1s`, `250us`, `5000ns` (bare numbers: milliseconds).
+fn parse_duration(v: &str) -> Option<Duration> {
+    let (digits, unit) = v.split_at(v.find(|c: char| !c.is_ascii_digit()).unwrap_or(v.len()));
+    let n: u64 = digits.parse().ok()?;
+    match unit {
+        "ns" => Some(Duration::from_nanos(n)),
+        "us" => Some(Duration::from_micros(n)),
+        "ms" | "" => Some(Duration::from_millis(n)),
+        "s" => Some(Duration::from_secs(n)),
+        _ => None,
+    }
 }
 
 fn parse_args() -> Args {
@@ -57,6 +83,8 @@ fn parse_args() -> Args {
         policy: AdmissionPolicy::Block,
         capacity: 128,
         out: "BENCH_native.json".to_string(),
+        obs_interval: None,
+        obs_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -80,15 +108,28 @@ fn parse_args() -> Args {
                 });
             }
             "--out" => args.out = value(),
+            "--obs-interval" => {
+                let v = value();
+                args.obs_interval = Some(parse_duration(&v).unwrap_or_else(|| {
+                    eprintln!("bad --obs-interval `{v}` (e.g. 10ms, 1s)");
+                    std::process::exit(2);
+                }));
+            }
+            "--obs-out" => args.obs_out = Some(value()),
             other => {
                 eprintln!("unknown flag `{other}`");
                 eprintln!(
                     "usage: native_shootout [--workers N] [--tx N] [--scale N] [--seed N] \
-                     [--policy block|reject|shed-oldest] [--capacity N] [--out FILE]"
+                     [--policy block|reject|shed-oldest] [--capacity N] [--out FILE] \
+                     [--obs-interval DUR] [--obs-out FILE]"
                 );
                 std::process::exit(2);
             }
         }
+    }
+    // --obs-out alone implies observation at the default interval.
+    if args.obs_out.is_some() && args.obs_interval.is_none() {
+        args.obs_interval = Some(ObsConfig::default().interval);
     }
     args
 }
@@ -125,24 +166,37 @@ fn main() {
         "shed".to_string(),
     ]];
     let mut entries = Vec::new();
+    let mut obs_lines: Vec<String> = Vec::new();
     for kind in AllocatorKind::PHP_STUDY {
         for workers in sweep_points(args.workers) {
+            let obs = args.obs_interval.map(|interval| ObsConfig {
+                interval,
+                run: format!("{}-w{workers}", kind.id()),
+                ..ObsConfig::default()
+            });
             let server = Server::start(ServerConfig {
                 kind,
                 workers,
                 queue_capacity: args.capacity,
                 policy: args.policy,
                 static_bytes: 2 << 20,
+                obs,
             });
             let factory = TxFactory::new(phpbb(), args.scale, args.seed);
             let clients = (workers * 2).max(2);
             drive_closed(&server, factory, args.tx, clients);
-            let report = server.finish();
+            let (report, samples) = server.finish_with_obs();
             assert_eq!(
                 report.completed + report.shed,
                 report.submitted,
                 "accounting identity broken for {kind} @ {workers} workers"
             );
+            if let Some(last) = samples.last() {
+                print!("{}", render_dashboard(last));
+            }
+            for sample in &samples {
+                obs_lines.push(serde_json::to_string(sample).expect("sample serializes"));
+            }
             rows.push(vec![
                 report.allocator.clone(),
                 format!("{workers}"),
@@ -156,9 +210,7 @@ fn main() {
                 allocator: report.allocator.clone(),
                 workers: report.workers,
                 tx_per_sec: report.tx_per_sec,
-                p50_ns: report.latency.p50_ns,
-                p95_ns: report.latency.p95_ns,
-                p99_ns: report.latency.p99_ns,
+                latency: report.latency,
                 completed: report.completed,
                 shed: report.shed,
             });
@@ -172,6 +224,15 @@ fn main() {
         std::process::exit(1);
     });
     println!("\nwrote {} cells to {}", entries.len(), args.out);
+    if let Some(obs_out) = &args.obs_out {
+        let mut body = obs_lines.join("\n");
+        body.push('\n');
+        std::fs::write(obs_out, body).unwrap_or_else(|e| {
+            eprintln!("cannot write {obs_out}: {e}");
+            std::process::exit(1);
+        });
+        println!("wrote {} telemetry samples to {obs_out}", obs_lines.len());
+    }
     println!("note: native numbers measure real host execution; see README");
     println!("\"Simulated vs native measurement\" for how they relate to fig5.");
 }

@@ -11,14 +11,17 @@
 /// Histogram of nanosecond latencies in 64 power-of-two buckets.
 ///
 /// Bucket `i` holds values whose highest set bit is `i`, i.e. the range
-/// `[2^i, 2^(i+1))`; bucket 0 holds 0 and 1 ns. Quantiles interpolate
-/// linearly within the selected bucket.
+/// `[2^i, 2^(i+1))`; bucket 0 holds 0 and 1 ns — a zero-nanosecond
+/// observation is a real observation and is counted, not dropped.
+/// Quantiles interpolate linearly within the selected bucket.
 #[derive(Clone, Debug)]
 pub struct LatencyHistogram {
     buckets: [u64; 64],
     count: u64,
     sum_ns: u64,
     max_ns: u64,
+    /// Smallest observation; `u64::MAX` while empty (accessor returns 0).
+    min_ns: u64,
 }
 
 impl Default for LatencyHistogram {
@@ -35,16 +38,37 @@ impl LatencyHistogram {
             count: 0,
             sum_ns: 0,
             max_ns: 0,
+            min_ns: u64::MAX,
         }
     }
 
-    /// Records one latency observation.
+    /// Rebuilds a histogram from raw parts (used by the atomic windowed
+    /// variant in [`crate::window`] to snapshot itself into this type).
+    pub(crate) fn from_parts(
+        buckets: [u64; 64],
+        count: u64,
+        sum_ns: u64,
+        max_ns: u64,
+        min_ns: u64,
+    ) -> Self {
+        LatencyHistogram {
+            buckets,
+            count,
+            sum_ns,
+            max_ns,
+            min_ns,
+        }
+    }
+
+    /// Records one latency observation. `record(0)` lands in the first
+    /// bucket like any other value — zeros are counted, never dropped.
     pub fn record(&mut self, ns: u64) {
         let idx = 63u32.saturating_sub(ns.leading_zeros()) as usize;
         self.buckets[idx] += 1;
         self.count += 1;
         self.sum_ns += ns;
         self.max_ns = self.max_ns.max(ns);
+        self.min_ns = self.min_ns.min(ns);
     }
 
     /// Folds another histogram into this one (used to combine per-worker
@@ -56,6 +80,7 @@ impl LatencyHistogram {
         self.count += other.count;
         self.sum_ns += other.sum_ns;
         self.max_ns = self.max_ns.max(other.max_ns);
+        self.min_ns = self.min_ns.min(other.min_ns);
     }
 
     /// Observations recorded.
@@ -63,9 +88,18 @@ impl LatencyHistogram {
         self.count
     }
 
-    /// Largest observation, exact.
+    /// Largest observation, exact (0 for an empty histogram).
     pub fn max_ns(&self) -> u64 {
         self.max_ns
+    }
+
+    /// Smallest observation, exact (0 for an empty histogram).
+    pub fn min_ns(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min_ns
+        }
     }
 
     /// Mean latency (exact: the running sum is kept outside the buckets).
@@ -73,13 +107,27 @@ impl LatencyHistogram {
         self.sum_ns.checked_div(self.count).unwrap_or(0)
     }
 
-    /// The `q`-quantile (`0.0 ..= 1.0`), interpolated within its bucket
-    /// and clamped to the exact observed maximum.
+    /// The `q`-quantile, interpolated within its bucket.
+    ///
+    /// Edge behavior, by contract:
+    ///
+    /// * an **empty** histogram returns 0 for every `q`;
+    /// * `q <= 0.0` returns the exact observed **minimum**;
+    /// * `q >= 1.0` returns the exact observed **maximum**;
+    /// * everything in between is a within-bucket linear interpolation,
+    ///   clamped into `[min_ns, max_ns]` so no estimate ever leaves the
+    ///   observed range.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
-        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        if q <= 0.0 {
+            return self.min_ns;
+        }
+        if q >= 1.0 {
+            return self.max_ns;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for (i, &n) in self.buckets.iter().enumerate() {
             if n == 0 {
@@ -90,7 +138,7 @@ impl LatencyHistogram {
                 let width = if i == 0 { 2u64 } else { 1u64 << i };
                 let into = (rank - seen) as f64 / n as f64;
                 let est = lo + (width as f64 * into) as u64;
-                return est.min(self.max_ns);
+                return est.clamp(self.min_ns, self.max_ns);
             }
             seen += n;
         }
@@ -102,6 +150,7 @@ impl LatencyHistogram {
         LatencySummary {
             count: self.count,
             mean_ns: self.mean_ns(),
+            min_ns: self.min_ns(),
             p50_ns: self.quantile(0.50),
             p95_ns: self.quantile(0.95),
             p99_ns: self.quantile(0.99),
@@ -118,6 +167,8 @@ pub struct LatencySummary {
     pub count: u64,
     /// Mean latency in nanoseconds (exact).
     pub mean_ns: u64,
+    /// Smallest observation, exact.
+    pub min_ns: u64,
     /// Median, within 2× (log2 buckets, interpolated).
     pub p50_ns: u64,
     /// 95th percentile.
@@ -139,7 +190,10 @@ mod tests {
         let h = LatencyHistogram::new();
         assert_eq!(h.count(), 0);
         assert_eq!(h.mean_ns(), 0);
+        assert_eq!(h.min_ns(), 0);
+        assert_eq!(h.quantile(0.0), 0);
         assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.quantile(1.0), 0);
         assert_eq!(h.summary(), LatencySummary::default());
     }
 
@@ -150,10 +204,12 @@ mod tests {
             h.record(i * 100); // 100 ns .. 1 ms
         }
         let s = h.summary();
+        assert!(s.min_ns <= s.p50_ns);
         assert!(s.p50_ns <= s.p95_ns);
         assert!(s.p95_ns <= s.p99_ns);
         assert!(s.p99_ns <= s.p999_ns);
         assert!(s.p999_ns <= s.max_ns);
+        assert_eq!(s.min_ns, 100);
         assert_eq!(s.max_ns, 1_000_000);
         // Log2 buckets: estimates are within a factor of two of truth.
         assert!(
@@ -164,12 +220,31 @@ mod tests {
     }
 
     #[test]
+    fn quantile_edges_return_exact_min_and_max() {
+        let mut h = LatencyHistogram::new();
+        for v in [777u64, 3000, 42_000, 5] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 5);
+        assert_eq!(h.quantile(-1.0), 5);
+        assert_eq!(h.quantile(1.0), 42_000);
+        assert_eq!(h.quantile(2.0), 42_000);
+        for q in [0.1, 0.25, 0.5, 0.9, 0.99] {
+            let v = h.quantile(q);
+            assert!((5..=42_000).contains(&v), "q={q} → {v}");
+        }
+    }
+
+    #[test]
     fn single_value_quantiles_hit_it_exactly() {
         let mut h = LatencyHistogram::new();
         h.record(4096);
+        assert_eq!(h.quantile(0.0), 4096);
         assert_eq!(h.quantile(0.5), 4096);
         assert_eq!(h.quantile(0.999), 4096);
+        assert_eq!(h.quantile(1.0), 4096);
         assert_eq!(h.mean_ns(), 4096);
+        assert_eq!(h.min_ns(), 4096);
     }
 
     #[test]
@@ -193,11 +268,17 @@ mod tests {
     }
 
     #[test]
-    fn zero_and_one_ns_land_in_bucket_zero() {
+    fn zero_is_recorded_in_bucket_zero_not_dropped() {
         let mut h = LatencyHistogram::new();
         h.record(0);
         h.record(1);
-        assert_eq!(h.count(), 2);
+        assert_eq!(h.count(), 2, "record(0) must count");
+        assert_eq!(h.min_ns(), 0);
+        assert_eq!(h.max_ns(), 1);
         assert!(h.quantile(1.0) <= 1);
+        let mut only_zero = LatencyHistogram::new();
+        only_zero.record(0);
+        assert_eq!(only_zero.count(), 1);
+        assert_eq!(only_zero.quantile(0.5), 0);
     }
 }

@@ -1,0 +1,44 @@
+//! # webmm-obs — live telemetry for the webmm serving harness
+//!
+//! The paper's argument is built from measurement lenses: CPU-time
+//! breakdowns, hardware-event deltas, per-allocator memory-consumption
+//! definitions. This crate supplies the *live* versions of those lenses —
+//! readable while a serving run is in flight, not just after
+//! `Server::finish` — with overhead small enough that the measurements
+//! remain trustworthy:
+//!
+//! * [`MetricsRegistry`] — named atomic counters/gauges, one
+//!   cache-line-padded shard per worker, snapshot-on-read. The hot path
+//!   is a single relaxed atomic add.
+//! * [`LatencyHistogram`] / [`LatencySummary`] — the log2-bucketed
+//!   histogram (moved here from `webmm-server` so every crate shares one
+//!   definition of a quantile) with documented edge behavior at
+//!   `q = 0`, `q = 1`, and on empty histograms.
+//! * [`SlidingWindow`] / [`AtomicHistogram`] — a rotating ring of atomic
+//!   histogram slots giving mid-run p50/p95/p99 over the last
+//!   `slots × interval` of traffic.
+//! * [`HeapTelemetry`] / [`HeapSnapshot`] — the trait every allocator
+//!   family implements to expose size-class occupancy, segment/chunk
+//!   counts, free-list lengths, touched-footprint high-water marks, and
+//!   cumulative `freeAll` cost from Rust-side mirrors (no simulated-
+//!   memory walks, no perturbation of the measured heap).
+//! * [`TxTracer`] / [`TxSpan`] — fixed-capacity per-worker ring buffers
+//!   of raw transaction spans (`enqueue → dequeue → complete`, bytes,
+//!   shed flag) with whole-ring dump on demand.
+//!
+//! The crate is dependency-free beyond `serde` (for one shared JSON path
+//! with the bench reports) and knows nothing about servers, queues, or
+//! ports — `webmm-server` wires these primitives into its sampler thread
+//! and JSONL exporter.
+
+mod heap;
+mod histogram;
+mod registry;
+mod trace;
+mod window;
+
+pub use heap::{ClassOccupancy, HeapSnapshot, HeapTelemetry};
+pub use histogram::{LatencyHistogram, LatencySummary};
+pub use registry::{MetricHandle, MetricKind, MetricSample, MetricsRegistry, MetricsSnapshot};
+pub use trace::{SpanRing, TxSpan, TxTracer};
+pub use window::{AtomicHistogram, SlidingWindow};

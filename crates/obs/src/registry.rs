@@ -1,0 +1,262 @@
+//! Lock-free metrics registry: sharded atomic counters and gauges.
+//!
+//! The hot path (a worker bumping a counter) is one relaxed atomic add on
+//! a cache-line-padded cell owned by that worker's shard — no locks, no
+//! false sharing, no cross-core traffic. Reads are *snapshot-on-read*: the
+//! sampler sums the shards when it wants a value, paying the cost on the
+//! cold path instead. This mirrors the paper's DDmalloc principle of
+//! keeping per-object work header-free and pushing bookkeeping to the
+//! boundaries: the worker's fast path carries no observation overhead
+//! beyond the single add.
+//!
+//! Registration (naming a metric) takes a write lock, but happens only at
+//! startup; after that every handle is a plain `(metric, shard)` index
+//! pair that can be cloned and moved across threads freely.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// One atomic cell, padded to a cache line so shards never false-share.
+#[repr(align(64))]
+#[derive(Default)]
+struct PaddedCell(AtomicU64);
+
+/// Whether a metric accumulates (counter) or holds a last-written value
+/// (gauge). Counters sum across shards on read; gauges also sum — each
+/// shard's gauge is that worker's contribution (e.g. its live bytes), so
+/// the sum is the fleet-wide value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum MetricKind {
+    /// Monotone accumulator; `add` is the writer.
+    Counter,
+    /// Last-value-wins per shard; `set` is the writer.
+    Gauge,
+}
+
+struct Metric {
+    name: String,
+    kind: MetricKind,
+    shards: Vec<PaddedCell>,
+}
+
+/// Registry of named metrics, one shard per worker.
+///
+/// Create once with the worker count, register metrics up front, hand
+/// each worker its [`MetricHandle`]s, and let the sampler call
+/// [`MetricsRegistry::snapshot`] at its leisure.
+pub struct MetricsRegistry {
+    shards: usize,
+    metrics: RwLock<Vec<Arc<Metric>>>,
+}
+
+impl MetricsRegistry {
+    /// A registry with `shards` independent write lanes (one per worker;
+    /// values are summed across lanes on read). At least one shard.
+    pub fn new(shards: usize) -> Self {
+        MetricsRegistry {
+            shards: shards.max(1),
+            metrics: RwLock::new(Vec::new()),
+        }
+    }
+
+    /// Number of write lanes.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Registers (or finds) a metric by name and returns the handle for
+    /// `shard`. Re-registering the same name returns a handle to the same
+    /// cells, so workers can register independently without coordination.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range, or if the name is already
+    /// registered with a different kind.
+    pub fn handle(&self, name: &str, kind: MetricKind, shard: usize) -> MetricHandle {
+        assert!(shard < self.shards, "shard {shard} >= {}", self.shards);
+        if let Some(m) = self.find(name) {
+            assert_eq!(m.kind, kind, "metric {name:?} re-registered as {kind:?}");
+            return MetricHandle { metric: m, shard };
+        }
+        let mut metrics = self.metrics.write().unwrap();
+        // Re-check under the write lock: another thread may have won.
+        if let Some(m) = metrics.iter().find(|m| m.name == name) {
+            assert_eq!(m.kind, kind, "metric {name:?} re-registered as {kind:?}");
+            return MetricHandle {
+                metric: Arc::clone(m),
+                shard,
+            };
+        }
+        let metric = Arc::new(Metric {
+            name: name.to_string(),
+            kind,
+            shards: (0..self.shards).map(|_| PaddedCell::default()).collect(),
+        });
+        metrics.push(Arc::clone(&metric));
+        MetricHandle { metric, shard }
+    }
+
+    fn find(&self, name: &str) -> Option<Arc<Metric>> {
+        self.metrics
+            .read()
+            .unwrap()
+            .iter()
+            .find(|m| m.name == name)
+            .map(Arc::clone)
+    }
+
+    /// Sums `name` across all shards; `None` if never registered.
+    pub fn value(&self, name: &str) -> Option<u64> {
+        self.find(name).map(|m| {
+            m.shards
+                .iter()
+                .map(|c| c.0.load(Ordering::Relaxed))
+                .sum::<u64>()
+        })
+    }
+
+    /// Reads every metric (summed across shards) at roughly one instant.
+    /// "Roughly": writers keep writing — each value is individually
+    /// atomic, the set is not, which is the documented trade for a
+    /// lock-free hot path.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let metrics = self.metrics.read().unwrap();
+        MetricsSnapshot {
+            samples: metrics
+                .iter()
+                .map(|m| MetricSample {
+                    name: m.name.clone(),
+                    kind: m.kind,
+                    value: m
+                        .shards
+                        .iter()
+                        .map(|c| c.0.load(Ordering::Relaxed))
+                        .sum::<u64>(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A writer's grip on one metric's shard. Cheap to clone, `Send + Sync`;
+/// writes are single relaxed atomics.
+#[derive(Clone)]
+pub struct MetricHandle {
+    metric: Arc<Metric>,
+    shard: usize,
+}
+
+impl MetricHandle {
+    /// Adds to this shard (counters).
+    #[inline]
+    pub fn add(&self, delta: u64) {
+        self.metric.shards[self.shard]
+            .0
+            .fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Overwrites this shard (gauges).
+    #[inline]
+    pub fn set(&self, value: u64) {
+        self.metric.shards[self.shard]
+            .0
+            .store(value, Ordering::Relaxed);
+    }
+
+    /// This metric summed across *all* shards (not just this handle's).
+    pub fn value(&self) -> u64 {
+        self.metric
+            .shards
+            .iter()
+            .map(|c| c.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+/// Point-in-time view of every registered metric.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct MetricsSnapshot {
+    /// One entry per metric, in registration order.
+    pub samples: Vec<MetricSample>,
+}
+
+impl MetricsSnapshot {
+    /// Looks a metric up by name.
+    pub fn get(&self, name: &str) -> Option<u64> {
+        self.samples
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| s.value)
+    }
+}
+
+/// One metric's summed value at snapshot time.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct MetricSample {
+    /// Registered name, e.g. `"tx.completed"`.
+    pub name: String,
+    /// Counter or gauge.
+    pub kind: MetricKind,
+    /// Sum over all shards.
+    pub value: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn counters_sum_across_shards() {
+        let reg = MetricsRegistry::new(4);
+        for shard in 0..4 {
+            let h = reg.handle("tx.completed", MetricKind::Counter, shard);
+            h.add((shard as u64 + 1) * 10);
+        }
+        assert_eq!(reg.value("tx.completed"), Some(100));
+        assert_eq!(reg.snapshot().get("tx.completed"), Some(100));
+    }
+
+    #[test]
+    fn gauges_overwrite_per_shard_and_sum_on_read() {
+        let reg = MetricsRegistry::new(2);
+        let a = reg.handle("heap.live_bytes", MetricKind::Gauge, 0);
+        let b = reg.handle("heap.live_bytes", MetricKind::Gauge, 1);
+        a.set(500);
+        a.set(300); // overwrites, does not accumulate
+        b.set(200);
+        assert_eq!(reg.value("heap.live_bytes"), Some(500));
+    }
+
+    #[test]
+    fn unknown_metric_reads_none() {
+        let reg = MetricsRegistry::new(1);
+        assert_eq!(reg.value("nope"), None);
+        assert!(reg.snapshot().samples.is_empty());
+    }
+
+    #[test]
+    fn concurrent_registration_and_writes_agree() {
+        let reg = Arc::new(MetricsRegistry::new(8));
+        thread::scope(|s| {
+            for shard in 0..8 {
+                let reg = Arc::clone(&reg);
+                s.spawn(move || {
+                    let h = reg.handle("ops", MetricKind::Counter, shard);
+                    for _ in 0..1000 {
+                        h.add(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(reg.value("ops"), Some(8000));
+    }
+
+    #[test]
+    #[should_panic(expected = "re-registered")]
+    fn kind_mismatch_panics() {
+        let reg = MetricsRegistry::new(1);
+        reg.handle("m", MetricKind::Counter, 0);
+        reg.handle("m", MetricKind::Gauge, 0);
+    }
+}

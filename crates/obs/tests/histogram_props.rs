@@ -1,0 +1,76 @@
+//! Property tests for the latency histogram: merge preservation and
+//! quantile monotonicity, over randomly generated observation sets.
+
+use proptest::prelude::*;
+use webmm_obs::LatencyHistogram;
+
+fn build(values: &[u64]) -> LatencyHistogram {
+    let mut h = LatencyHistogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+/// Observation values spanning the full dynamic range the harness sees:
+/// sub-ns zeros through multi-second latencies.
+fn latency() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        1 => Just(0u64),
+        4 => 0u64..1000,                       // sub-microsecond
+        4 => 1_000u64..10_000_000,             // µs .. 10 ms
+        2 => 10_000_000u64..10_000_000_000,    // 10 ms .. 10 s
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// `merge` preserves count, max, min, and mean exactly, and produces
+    /// the same histogram as recording everything into one.
+    #[test]
+    fn merge_preserves_count_max_and_summary(
+        xs in collection::vec(latency(), 0..200),
+        ys in collection::vec(latency(), 0..200),
+    ) {
+        let mut merged = build(&xs);
+        merged.merge(&build(&ys));
+        let mut all = xs.clone();
+        all.extend_from_slice(&ys);
+        let whole = build(&all);
+
+        prop_assert_eq!(merged.count(), (xs.len() + ys.len()) as u64);
+        prop_assert_eq!(merged.max_ns(), all.iter().copied().max().unwrap_or(0));
+        prop_assert_eq!(merged.min_ns(), whole.min_ns());
+        prop_assert_eq!(merged.mean_ns(), whole.mean_ns());
+        prop_assert_eq!(merged.summary(), whole.summary());
+    }
+
+    /// Quantiles are monotone non-decreasing in `q` and never leave the
+    /// observed `[min, max]` range.
+    #[test]
+    fn quantiles_monotone_in_q(xs in collection::vec(latency(), 1..300)) {
+        let h = build(&xs);
+        let qs = [0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999, 1.0];
+        let mut prev = 0u64;
+        for &q in &qs {
+            let v = h.quantile(q);
+            prop_assert!(v >= prev, "quantile({q}) = {v} < quantile(prev) = {prev}");
+            prop_assert!(v >= h.min_ns(), "q={q}: {v} below min {}", h.min_ns());
+            prop_assert!(v <= h.max_ns(), "q={q}: {v} above max {}", h.max_ns());
+            prev = v;
+        }
+        prop_assert_eq!(h.quantile(0.0), h.min_ns());
+        prop_assert_eq!(h.quantile(1.0), h.max_ns());
+    }
+
+    /// The empty histogram answers 0 for every quantile — no panics, no
+    /// sentinels leaking out.
+    #[test]
+    fn empty_histogram_quantiles_are_zero(q in 0.0f64..1.0) {
+        let h = LatencyHistogram::new();
+        prop_assert_eq!(h.quantile(q), 0);
+        prop_assert_eq!(h.min_ns(), 0);
+        prop_assert_eq!(h.max_ns(), 0);
+    }
+}

@@ -20,9 +20,14 @@
 //! * [`TxFactory`] + [`drive_closed`] / [`drive_open`] — deterministic
 //!   transaction production under closed- or open-loop arrival models;
 //! * [`LatencyHistogram`] — log2-bucketed admission-to-completion
-//!   latencies with p50/p95/p99/p999;
+//!   latencies with p50/p95/p99/p999 (shared with `webmm-obs`, which is
+//!   also where the live sliding-window variant lives);
 //! * [`ServerReport`] — JSON-serializable run outcome, carrying the
-//!   checked accounting identity `submitted == completed + shed`.
+//!   checked accounting identity `submitted == completed + shed`;
+//! * [`ObsConfig`] / [`ServerTelemetry`] / [`ObsSample`] — opt-in live
+//!   telemetry: a sampler thread snapshots queue depth, per-worker heap
+//!   occupancy and sliding-window latency quantiles at a configurable
+//!   interval, streaming JSONL while the run is still serving.
 //!
 //! ## Example
 //!
@@ -44,16 +49,19 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
-mod histogram;
 mod loadgen;
 mod queue;
 mod server;
+mod telemetry;
 mod worker;
 
-pub use histogram::{LatencyHistogram, LatencySummary};
 pub use loadgen::{drive_closed, drive_open, TxFactory};
 pub use queue::{Admission, AdmissionPolicy, QueueCounters, TxQueue};
 pub use server::{Ingress, Server, ServerConfig, ServerReport};
+pub use telemetry::{render_dashboard, ObsConfig, ObsSample, ServerTelemetry, WorkerHeapSample};
+// The histogram is defined in `webmm-obs` so live windows and final
+// reports share one implementation; re-exported here for compatibility.
+pub use webmm_obs::{LatencyHistogram, LatencySummary, TxSpan};
 pub use worker::WorkerReport;
 
 use webmm_workload::WorkOp;

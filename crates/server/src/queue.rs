@@ -11,10 +11,12 @@
 //! Every admission outcome is counted, so the server can prove the
 //! accounting identity `submitted == completed + shed` after drain.
 
+use crate::telemetry::ServerTelemetry;
 use crate::Transaction;
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
+use webmm_obs::TxSpan;
 
 /// What the queue does when a transaction arrives and the buffer is full.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -98,6 +100,9 @@ pub struct TxQueue {
     not_full: Condvar,
     capacity: usize,
     policy: AdmissionPolicy,
+    /// When present, shed transactions leave spans in the tracer's shed
+    /// lane (sheds happen on submitter threads, not worker threads).
+    telemetry: Option<Arc<ServerTelemetry>>,
 }
 
 impl TxQueue {
@@ -118,6 +123,29 @@ impl TxQueue {
             not_full: Condvar::new(),
             capacity,
             policy,
+            telemetry: None,
+        }
+    }
+
+    /// Routes shed spans into `telemetry`'s tracer. Called by the server
+    /// before the queue is shared.
+    pub(crate) fn install_telemetry(&mut self, telemetry: Arc<ServerTelemetry>) {
+        self.telemetry = Some(telemetry);
+    }
+
+    /// Records a shed span for transaction `tx_id`. `queued_for` is how
+    /// long a shed-oldest victim sat in the queue (zero for rejections at
+    /// the front door).
+    fn trace_shed(&self, tx_id: u64, queued_for: Option<std::time::Duration>) {
+        if let Some(t) = &self.telemetry {
+            let now = t.tracer.now_ns();
+            let waited = queued_for.map_or(0, |d| d.as_nanos().min(u128::from(u64::MAX)) as u64);
+            t.tracer.record_shed(TxSpan {
+                tx_id,
+                enqueue_ns: now.saturating_sub(waited),
+                complete_ns: now,
+                ..TxSpan::default()
+            });
         }
     }
 
@@ -140,6 +168,8 @@ impl TxQueue {
         st.counters.submitted += 1;
         if st.closed {
             st.counters.shed += 1;
+            drop(st);
+            self.trace_shed(tx.id, None);
             return Admission::Rejected;
         }
         if st.buf.len() >= self.capacity {
@@ -150,21 +180,29 @@ impl TxQueue {
                     }
                     if st.closed {
                         st.counters.shed += 1;
+                        drop(st);
+                        self.trace_shed(tx.id, None);
                         return Admission::Rejected;
                     }
                 }
                 AdmissionPolicy::Reject => {
                     st.counters.shed += 1;
+                    drop(st);
+                    self.trace_shed(tx.id, None);
                     return Admission::Rejected;
                 }
                 AdmissionPolicy::ShedOldest => {
-                    st.buf.pop_front();
+                    let victim = st.buf.pop_front();
                     st.counters.shed += 1;
                     st.buf.push_back(QueuedTx {
                         tx,
                         enqueued: Instant::now(),
                     });
                     self.not_empty.notify_one();
+                    drop(st);
+                    if let Some(v) = victim {
+                        self.trace_shed(v.tx.id, Some(v.enqueued.elapsed()));
+                    }
                     return Admission::AcceptedSheddingOldest;
                 }
             }

@@ -8,17 +8,18 @@
 //! a [`ServerReport`] whose accounting identity
 //! `submitted == completed + shed` is checked before it is returned.
 
-use crate::histogram::{LatencyHistogram, LatencySummary};
 use crate::queue::{Admission, AdmissionPolicy, TxQueue};
+use crate::telemetry::{ObsConfig, ObsSample, Sampler, ServerTelemetry};
 use crate::worker::{self, WorkerReport};
 use crate::Transaction;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 use webmm_alloc::AllocatorKind;
+use webmm_obs::{LatencyHistogram, LatencySummary, TxSpan};
 
 /// Configuration of a native serving run.
-#[derive(Copy, Clone, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServerConfig {
     /// Allocator family every worker builds a private heap from.
     pub kind: AllocatorKind,
@@ -30,6 +31,8 @@ pub struct ServerConfig {
     pub policy: AdmissionPolicy,
     /// Per-worker static data area (interpreter tables etc.), bytes.
     pub static_bytes: u64,
+    /// Live telemetry (`None`: zero observation machinery is built).
+    pub obs: Option<ObsConfig>,
 }
 
 impl Default for ServerConfig {
@@ -40,6 +43,7 @@ impl Default for ServerConfig {
             queue_capacity: 128,
             policy: AdmissionPolicy::Block,
             static_bytes: 2 << 20,
+            obs: None,
         }
     }
 }
@@ -50,6 +54,8 @@ pub struct Server {
     handles: Vec<JoinHandle<(WorkerReport, LatencyHistogram)>>,
     kind: AllocatorKind,
     started: Instant,
+    telemetry: Option<Arc<ServerTelemetry>>,
+    sampler: Option<Sampler>,
 }
 
 impl Server {
@@ -60,23 +66,38 @@ impl Server {
     /// Panics if `workers` or `queue_capacity` is zero.
     pub fn start(config: ServerConfig) -> Self {
         assert!(config.workers > 0, "server needs at least one worker");
-        let queue = Arc::new(TxQueue::new(config.queue_capacity, config.policy));
+        let telemetry = config
+            .obs
+            .as_ref()
+            .map(|obs| Arc::new(ServerTelemetry::new(obs, config.workers)));
+        let mut queue = TxQueue::new(config.queue_capacity, config.policy);
+        if let Some(t) = &telemetry {
+            queue.install_telemetry(Arc::clone(t));
+        }
+        let queue = Arc::new(queue);
         let handles = (0..config.workers)
             .map(|w| {
                 let queue = Arc::clone(&queue);
                 let kind = config.kind;
                 let static_bytes = config.static_bytes;
+                let telemetry = telemetry.clone();
                 std::thread::Builder::new()
                     .name(format!("webmm-worker-{w}"))
-                    .spawn(move || worker::run(w as u64, kind, static_bytes, queue))
+                    .spawn(move || worker::run(w as u64, kind, static_bytes, queue, telemetry))
                     .expect("spawn worker thread")
             })
             .collect();
+        let sampler = match (&telemetry, &config.obs) {
+            (Some(t), Some(obs)) => Some(Sampler::spawn(Arc::clone(t), Arc::clone(&queue), obs)),
+            _ => None,
+        };
         Server {
             queue,
             handles,
             kind: config.kind,
             started: Instant::now(),
+            telemetry,
+            sampler,
         }
     }
 
@@ -95,6 +116,21 @@ impl Server {
         self.queue.depth()
     }
 
+    /// The live telemetry plane, when the config asked for one.
+    pub fn telemetry(&self) -> Option<&Arc<ServerTelemetry>> {
+        self.telemetry.as_ref()
+    }
+
+    /// All transaction spans currently retained in the trace rings
+    /// (completions per worker plus the shed lane), sorted by completion
+    /// time. Empty without telemetry.
+    pub fn dump_spans(&self) -> Vec<TxSpan> {
+        self.telemetry
+            .as_ref()
+            .map(|t| t.dump_spans())
+            .unwrap_or_default()
+    }
+
     /// Closes the ingress queue, drains it, joins every worker, and
     /// returns the merged report.
     ///
@@ -103,6 +139,18 @@ impl Server {
     /// Panics if a worker thread panicked, or if the admission accounting
     /// identity `submitted == completed + shed` does not hold.
     pub fn finish(self) -> ServerReport {
+        self.finish_with_obs().0
+    }
+
+    /// Like [`Server::finish`], but also returns the telemetry time
+    /// series the sampler collected (empty without telemetry). The
+    /// sampler takes one final sample after the workers drain, so the
+    /// series always ends with the settled state.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Server::finish`].
+    pub fn finish_with_obs(self) -> (ServerReport, Vec<ObsSample>) {
         self.queue.close();
         let mut latencies = LatencyHistogram::new();
         let mut per_worker = Vec::with_capacity(self.handles.len());
@@ -111,6 +159,7 @@ impl Server {
             latencies.merge(&hist);
             per_worker.push(report);
         }
+        let samples = self.sampler.map(Sampler::stop).unwrap_or_default();
         let wall_ns = self.started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
         let counters = self.queue.counters();
         let completed: u64 = per_worker.iter().map(|w| w.completed).sum();
@@ -123,7 +172,7 @@ impl Server {
             counters.shed,
         );
         let secs = wall_ns as f64 / 1e9;
-        ServerReport {
+        let report = ServerReport {
             allocator: self.kind.id().to_string(),
             workers: per_worker.len() as u64,
             queue_capacity: self.queue.capacity() as u64,
@@ -140,7 +189,8 @@ impl Server {
             },
             latency: latencies.summary(),
             per_worker,
-        }
+        };
+        (report, samples)
     }
 }
 
@@ -222,6 +272,7 @@ mod tests {
             queue_capacity: 16,
             policy: AdmissionPolicy::Block,
             static_bytes: 1 << 16,
+            obs: None,
         });
         for i in 0..50 {
             server.submit(tiny_tx(i));

@@ -9,11 +9,13 @@
 //! per-object frees of the survivors otherwise — so transactions never
 //! leak state into each other and a worker can serve forever.
 
-use crate::histogram::LatencyHistogram;
 use crate::queue::TxQueue;
+use crate::telemetry::{ServerTelemetry, WorkerMetrics};
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
 use webmm_alloc::{Allocator, AllocatorKind};
+use webmm_obs::{LatencyHistogram, TxSpan};
 use webmm_sim::{Addr, MemoryPort, PageSize, PlainPort};
 use webmm_workload::WorkOp;
 
@@ -148,15 +150,32 @@ impl WorkerState {
 
 /// The worker thread body: pull transactions until the queue closes and
 /// drains, then hand back the report and the local latency histogram.
+///
+/// With telemetry attached, every completion also lands in the sliding
+/// latency window, the sharded metric registry, and the worker's span
+/// ring; the heap snapshot slot is refreshed at transaction boundaries,
+/// throttled to [`ServerTelemetry::publish_every`] so observation cost
+/// stays off the per-transaction path.
 pub(crate) fn run(
     worker: u64,
     kind: AllocatorKind,
     static_bytes: u64,
     queue: Arc<TxQueue>,
+    telemetry: Option<Arc<ServerTelemetry>>,
 ) -> (WorkerReport, LatencyHistogram) {
     let mut state = WorkerState::new(worker, kind, static_bytes);
     let mut latencies = LatencyHistogram::new();
+    let metrics = telemetry
+        .as_deref()
+        .map(|t| WorkerMetrics::new(t, worker as usize));
+    let mut last_publish: Option<Instant> = None;
     while let Some(queued) = queue.pop() {
+        let queue_wait = queued
+            .enqueued
+            .elapsed()
+            .as_nanos()
+            .min(u128::from(u64::MAX)) as u64;
+        let bytes_before = state.heap.stats().bytes_requested;
         state.execute(&queued.tx.ops);
         state.report.completed += 1;
         let ns = queued
@@ -165,6 +184,49 @@ pub(crate) fn run(
             .as_nanos()
             .min(u128::from(u64::MAX)) as u64;
         latencies.record(ns);
+        if let (Some(t), Some(m)) = (telemetry.as_deref(), metrics.as_ref()) {
+            t.window.record(ns);
+            let complete_ns = t.tracer.now_ns();
+            let dequeue_ns = complete_ns.saturating_sub(ns.saturating_sub(queue_wait));
+            t.tracer.record(
+                worker as usize,
+                TxSpan {
+                    tx_id: queued.tx.id,
+                    worker,
+                    enqueue_ns: complete_ns.saturating_sub(ns),
+                    dequeue_ns,
+                    complete_ns,
+                    bytes_allocated: state
+                        .heap
+                        .stats()
+                        .bytes_requested
+                        .saturating_sub(bytes_before),
+                    shed: false,
+                },
+            );
+            m.completed.add(1);
+            m.bytes_requested.add(
+                state
+                    .heap
+                    .stats()
+                    .bytes_requested
+                    .saturating_sub(bytes_before),
+            );
+            if last_publish.is_none_or(|at| at.elapsed() >= t.publish_every()) {
+                let snap = state.heap.heap_snapshot();
+                m.heap_bytes.set(snap.heap_bytes);
+                m.orphan_ops.set(state.report.orphan_ops);
+                t.publish_heap(worker as usize, snap);
+                last_publish = Some(Instant::now());
+            }
+        }
+    }
+    // Final publication so post-drain samples see the settled heap.
+    if let (Some(t), Some(m)) = (telemetry.as_deref(), metrics.as_ref()) {
+        let snap = state.heap.heap_snapshot();
+        m.heap_bytes.set(snap.heap_bytes);
+        m.orphan_ops.set(state.report.orphan_ops);
+        t.publish_heap(worker as usize, snap);
     }
     state.report.sim_instructions = state.port.instructions();
     (state.report, latencies)

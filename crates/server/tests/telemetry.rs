@@ -1,0 +1,133 @@
+//! Live-telemetry integration tests for the native serving harness.
+//!
+//! The acceptance properties: attaching the observer must not change
+//! what the server *does* (same-seed accounting identical with telemetry
+//! on and off), and what the observer *says* must be well-formed (the
+//! JSONL stream parses back into samples carrying queue depth, window
+//! quantiles and per-worker size-class occupancy).
+
+use std::time::Duration;
+use webmm_alloc::AllocatorKind;
+use webmm_server::{
+    drive_closed, AdmissionPolicy, ObsConfig, ObsSample, Server, ServerConfig, ServerReport,
+    TxFactory,
+};
+use webmm_workload::phpbb;
+
+const SEED: u64 = 0xC0FFEE;
+const WORKERS: usize = 4;
+const TOTAL_TX: u64 = 48;
+
+fn serve(kind: AllocatorKind, obs: Option<ObsConfig>) -> (ServerReport, Vec<ObsSample>) {
+    let server = Server::start(ServerConfig {
+        kind,
+        workers: WORKERS,
+        queue_capacity: 16,
+        policy: AdmissionPolicy::Block,
+        static_bytes: 1 << 20,
+        obs,
+    });
+    drive_closed(&server, TxFactory::new(phpbb(), 1024, SEED), TOTAL_TX, 2);
+    server.finish_with_obs()
+}
+
+fn fast_obs() -> ObsConfig {
+    ObsConfig {
+        interval: Duration::from_millis(2),
+        ..ObsConfig::default()
+    }
+}
+
+#[test]
+fn telemetry_does_not_change_accounting() {
+    for kind in AllocatorKind::PHP_STUDY {
+        let (off, no_samples) = serve(kind, None);
+        let (on, samples) = serve(kind, Some(fast_obs()));
+        assert!(no_samples.is_empty(), "{kind}: no observer, no samples");
+        assert!(!samples.is_empty(), "{kind}: observer must sample");
+        assert_eq!(off.submitted, on.submitted, "{kind}");
+        assert_eq!(off.completed, on.completed, "{kind}");
+        assert_eq!(off.shed, on.shed, "{kind}");
+        let bytes = |r: &ServerReport| r.per_worker.iter().map(|w| w.bytes_touched).sum::<u64>();
+        assert_eq!(bytes(&off), bytes(&on), "{kind}: same op mix either way");
+    }
+}
+
+#[test]
+fn final_sample_reflects_settled_server() {
+    let (report, samples) = serve(AllocatorKind::DdMalloc, Some(fast_obs()));
+    let last = samples.last().expect("at least the closing sample");
+    // The sampler takes its closing sample after the workers have joined,
+    // so the last sample must agree with the final report.
+    assert_eq!(last.queue_depth, 0);
+    assert_eq!(last.submitted, report.submitted);
+    assert_eq!(last.completed, report.completed);
+    assert_eq!(last.shed, report.shed);
+    // Every worker published a heap snapshot, and freeAll emptied them.
+    assert_eq!(last.workers.len(), WORKERS);
+    for w in &last.workers {
+        assert_eq!(w.heap.tx_live_bytes, 0, "worker {}", w.worker);
+        assert!(w.heap.free_all_count > 0, "worker {}", w.worker);
+        assert!(!w.heap.classes.is_empty(), "worker {}", w.worker);
+    }
+    // Mid-run samples saw the sliding window populated.
+    assert!(
+        samples.iter().any(|s| s.window.count > 0),
+        "some sample caught in-flight latency"
+    );
+}
+
+#[test]
+fn jsonl_export_parses_round_trip() {
+    let path = std::env::temp_dir().join(format!("webmm_obs_test_{}.jsonl", std::process::id()));
+    let obs = ObsConfig {
+        interval: Duration::from_millis(2),
+        out: Some(path.clone()),
+        run: "test-run".to_string(),
+        ..ObsConfig::default()
+    };
+    let (_, samples) = serve(AllocatorKind::DdMalloc, Some(obs));
+    let body = std::fs::read_to_string(&path).expect("sampler wrote the JSONL file");
+    std::fs::remove_file(&path).ok();
+    let lines: Vec<&str> = body.lines().collect();
+    assert_eq!(lines.len(), samples.len(), "one line per sample");
+    assert!(!lines.is_empty());
+    for (line, sample) in lines.iter().zip(&samples) {
+        let parsed: ObsSample = serde_json::from_str(line).expect("line parses as ObsSample");
+        assert_eq!(parsed.run, "test-run");
+        assert_eq!(parsed.t_ns, sample.t_ns);
+        assert_eq!(parsed.queue_depth, sample.queue_depth);
+        assert_eq!(parsed.completed, sample.completed);
+        assert_eq!(parsed.workers.len(), sample.workers.len());
+    }
+}
+
+#[test]
+fn tx_spans_cover_completions_and_sheds() {
+    let server = Server::start(ServerConfig {
+        kind: AllocatorKind::DdMalloc,
+        workers: 2,
+        queue_capacity: 2,
+        policy: AdmissionPolicy::Reject,
+        static_bytes: 1 << 20,
+        obs: Some(fast_obs()),
+    });
+    drive_closed(&server, TxFactory::new(phpbb(), 1024, SEED), 32, 8);
+    let spans = server.dump_spans();
+    let report = server.finish();
+    assert_eq!(report.completed + report.shed, report.submitted);
+    let completed_spans = spans.iter().filter(|s| !s.shed).count() as u64;
+    let shed_spans = spans.iter().filter(|s| s.shed).count() as u64;
+    // Rings are fixed-capacity: they hold the most recent spans, never
+    // more than the true counts.
+    assert!(completed_spans > 0);
+    assert!(completed_spans <= report.completed);
+    assert!(
+        shed_spans <= report.shed,
+        "never more shed spans than sheds"
+    );
+    for s in &spans {
+        assert!(s.enqueue_ns <= s.dequeue_ns, "span {s:?}");
+        assert!(s.dequeue_ns <= s.complete_ns, "span {s:?}");
+    }
+}

@@ -8,14 +8,51 @@
 //! quantiles.
 //!
 //! ```text
-//! cargo run --release --example native_serving
+//! cargo run --release --example native_serving -- [--obs-interval 10ms] [--obs-out OBS.jsonl]
 //! ```
+//!
+//! With `--obs-interval`, each run attaches the live telemetry sampler
+//! and prints its final dashboard: queue depth, sliding-window latency
+//! quantiles, and per-worker heap occupancy. `--obs-out` streams every
+//! sample as JSONL while the server is live (one file per allocator,
+//! suffixed with the allocator id).
 
+use std::time::Duration;
 use webmm::alloc::AllocatorKind;
-use webmm::server::{drive_closed, AdmissionPolicy, Server, ServerConfig, TxFactory};
+use webmm::server::{
+    drive_closed, render_dashboard, AdmissionPolicy, ObsConfig, Server, ServerConfig, TxFactory,
+};
 use webmm::workload::phpbb;
 
+fn parse_duration(v: &str) -> Option<Duration> {
+    let (digits, unit) = v.split_at(v.find(|c: char| !c.is_ascii_digit()).unwrap_or(v.len()));
+    let n: u64 = digits.parse().ok()?;
+    match unit {
+        "us" => Some(Duration::from_micros(n)),
+        "ms" | "" => Some(Duration::from_millis(n)),
+        "s" => Some(Duration::from_secs(n)),
+        _ => None,
+    }
+}
+
 fn main() {
+    let mut obs_interval: Option<Duration> = None;
+    let mut obs_out: Option<String> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--obs-interval" => {
+                let v = it.next().expect("--obs-interval takes a duration");
+                obs_interval = Some(parse_duration(&v).expect("duration like 10ms or 1s"));
+            }
+            "--obs-out" => obs_out = Some(it.next().expect("--obs-out takes a path")),
+            other => panic!("unknown flag `{other}` (try --obs-interval, --obs-out)"),
+        }
+    }
+    if obs_out.is_some() && obs_interval.is_none() {
+        obs_interval = Some(ObsConfig::default().interval);
+    }
+
     let workers = 4;
     let total_tx = 200;
     println!("native serving: phpBB, {workers} workers, {total_tx} transactions\n");
@@ -24,16 +61,29 @@ fn main() {
         "allocator", "tx/s", "p50 us", "p99 us", "shed"
     );
     for kind in AllocatorKind::PHP_STUDY {
+        let obs = obs_interval.map(|interval| ObsConfig {
+            interval,
+            // One JSONL stream per allocator: OBS.jsonl -> OBS.ddmalloc.jsonl.
+            out: obs_out.as_ref().map(|base| {
+                let path = std::path::Path::new(base);
+                let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("OBS");
+                let ext = path.extension().and_then(|s| s.to_str()).unwrap_or("jsonl");
+                path.with_file_name(format!("{stem}.{}.{ext}", kind.id()))
+            }),
+            run: format!("{}-w{workers}", kind.id()),
+            ..ObsConfig::default()
+        });
         let server = Server::start(ServerConfig {
             kind,
             workers,
             queue_capacity: 32,
             policy: AdmissionPolicy::Block,
             static_bytes: 2 << 20,
+            obs,
         });
         let factory = TxFactory::new(phpbb(), 1024, 42);
         drive_closed(&server, factory, total_tx, workers * 2);
-        let report = server.finish();
+        let (report, samples) = server.finish_with_obs();
         assert_eq!(report.completed + report.shed, report.submitted);
         println!(
             "{:<40} {:>10.1} {:>10.1} {:>10.1} {:>10}",
@@ -43,6 +93,9 @@ fn main() {
             report.latency.p99_ns as f64 / 1e3,
             report.shed,
         );
+        if let Some(last) = samples.last() {
+            print!("{}", render_dashboard(last));
+        }
     }
     println!("\nevery transaction was completed or accounted for by the shed policy;");
     println!("freeAll returned each worker heap to empty at every transaction end.");

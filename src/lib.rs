@@ -20,6 +20,10 @@
 //!   throughput model;
 //! * [`profiler`] — the paper's measurement lenses (CPU breakdowns,
 //!   hardware-event deltas, memory consumption);
+//! * [`obs`] — the live versions of those lenses: lock-free metrics
+//!   registry, sliding-window latency quantiles, per-allocator heap
+//!   telemetry and transaction span tracing, sampled mid-run and
+//!   exported as JSONL time series;
 //! * [`server`] — the native serving harness: the same allocators on real
 //!   OS worker threads (one heap each) behind a bounded ingress queue
 //!   with block/reject/shed-oldest admission control and log2 latency
@@ -47,6 +51,7 @@
 #![warn(missing_docs)]
 
 pub use webmm_alloc as alloc;
+pub use webmm_obs as obs;
 pub use webmm_profiler as profiler;
 pub use webmm_runtime as runtime;
 pub use webmm_server as server;
