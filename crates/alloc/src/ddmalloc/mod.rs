@@ -127,14 +127,29 @@ pub struct DdMalloc {
     /// has no port to read simulated memory through).
     hw_mirror: u64,
     tx_alloc_bytes: u64,
+    /// Folded lazily: updated only where `tx_alloc_bytes` can shrink
+    /// (`free` / `free_all`), so the malloc fast path skips the max.
+    /// Readers take `max(peak_tx_alloc, tx_alloc_bytes)`.
     peak_tx_alloc: u64,
     /// Telemetry mirrors (never read by the simulation): per-class live
     /// object and free-list-length counts, which classes hold a primary
     /// segment, segments currently marked used, and cumulative `freeAll`
     /// wall cost.
+    ///
+    /// `class_live`/`class_free` are cleared *lazily*: `free_all` bumps
+    /// `epoch` instead of zeroing both vectors, and an entry only counts
+    /// when `class_epoch[c] == epoch` (hot paths refresh stale entries
+    /// through [`DdMalloc::touch_class`]). This keeps `free_all` — called
+    /// once per transaction — O(1) on the Rust side regardless of how
+    /// many size classes the mapping produces.
     class_live: Vec<u64>,
     class_free: Vec<u64>,
+    class_epoch: Vec<u64>,
+    epoch: u64,
     hint_set: Vec<bool>,
+    /// Count of `true` entries in `hint_set`, maintained incrementally so
+    /// `free_all` does not rescan the vector.
+    hint_count: u64,
     segs_used: u64,
     free_all_ns: u64,
 }
@@ -156,7 +171,10 @@ impl DdMalloc {
             peak_tx_alloc: 0,
             class_live: vec![0; n],
             class_free: vec![0; n],
+            class_epoch: vec![0; n],
+            epoch: 0,
             hint_set: vec![false; n],
+            hint_count: 0,
             segs_used: 0,
             free_all_ns: 0,
         }
@@ -317,6 +335,7 @@ impl DdMalloc {
             let next = port.load_u64(head);
             port.store_u64(chain_addr, next);
             port.exec(4);
+            self.touch_class(class);
             self.class_free[class] = self.class_free[class].saturating_sub(1);
             self.class_live[class] += 1;
             return Ok(head);
@@ -337,6 +356,7 @@ impl DdMalloc {
                 port.store_u64(tail_addr, 0);
             }
             port.exec(6);
+            self.touch_class(class);
             self.class_live[class] += 1;
             return Ok(tail);
         }
@@ -365,8 +385,12 @@ impl DdMalloc {
             port.store_u64(tail_addr, second.raw());
         }
         port.exec(14);
-        self.hint_set[class] = true;
+        if !self.hint_set[class] {
+            self.hint_set[class] = true;
+            self.hint_count += 1;
+        }
         self.segs_used += 1;
+        self.touch_class(class);
         self.class_live[class] += 1;
         Ok(seg_addr)
     }
@@ -406,9 +430,41 @@ impl DdMalloc {
         }
     }
 
+    #[inline]
     fn note_alloc(&mut self, rounded: u64) {
+        // The peak is folded in `free`/`free_all` (the only places the
+        // running total can shrink) and in the readers, not here.
         self.tx_alloc_bytes += rounded;
-        self.peak_tx_alloc = self.peak_tx_alloc.max(self.tx_alloc_bytes);
+    }
+
+    /// Refreshes a class's lazily-cleared telemetry mirrors before a hot
+    /// path increments them (see the `class_live` field docs).
+    #[inline]
+    fn touch_class(&mut self, class: usize) {
+        if self.class_epoch[class] != self.epoch {
+            self.class_epoch[class] = self.epoch;
+            self.class_live[class] = 0;
+            self.class_free[class] = 0;
+        }
+    }
+
+    /// Epoch-guarded mirror reads: stale entries count as zero.
+    #[inline]
+    fn class_live_now(&self, class: usize) -> u64 {
+        if self.class_epoch[class] == self.epoch {
+            self.class_live[class]
+        } else {
+            0
+        }
+    }
+
+    #[inline]
+    fn class_free_now(&self, class: usize) -> u64 {
+        if self.class_epoch[class] == self.epoch {
+            self.class_free[class]
+        } else {
+            0
+        }
     }
 }
 
@@ -425,11 +481,13 @@ impl webmm_obs::HeapTelemetry for DdMalloc {
             touched_bytes: self.hw_mirror * self.config.segment_bytes,
             metadata_bytes: n_classes * 16 + n_segs + n_segs * 4 + 16,
             tx_live_bytes: self.tx_alloc_bytes,
-            peak_tx_bytes: self.peak_tx_alloc,
+            peak_tx_bytes: self.peak_tx_alloc.max(self.tx_alloc_bytes),
             segments: self.segs_used,
-            free_list_len: self.class_free.iter().sum(),
+            free_list_len: (0..self.classes.count())
+                .map(|c| self.class_free_now(c))
+                .sum(),
             free_bytes: (0..self.classes.count())
-                .map(|c| self.class_free[c] * self.classes.size_of(c))
+                .map(|c| self.class_free_now(c) * self.classes.size_of(c))
                 .sum(),
             free_all_count: self.stats.free_alls,
             free_all_ns: self.free_all_ns,
@@ -437,8 +495,8 @@ impl webmm_obs::HeapTelemetry for DdMalloc {
                 .map(|c| webmm_obs::ClassOccupancy {
                     class: c as u32,
                     object_size: self.classes.size_of(c),
-                    live: self.class_live[c],
-                    free: self.class_free[c],
+                    live: self.class_live_now(c),
+                    free: self.class_free_now(c),
                 })
                 .collect(),
         }
@@ -465,6 +523,7 @@ impl Allocator for DdMalloc {
         CodeSpec::new(8 * 1024, 2 * 1024)
     }
 
+    #[inline]
     fn malloc(&mut self, port: &mut dyn MemoryPort, size: u64) -> Result<Addr, AllocError> {
         if size == 0 {
             return Err(AllocError::InvalidRequest { requested: 0 });
@@ -498,6 +557,7 @@ impl Allocator for DdMalloc {
         result
     }
 
+    #[inline]
     fn free(&mut self, port: &mut dyn MemoryPort, addr: Addr) {
         let spec = self.code_spec();
         enter_mm(port, &mut self.code_id, spec);
@@ -513,6 +573,7 @@ impl Allocator for DdMalloc {
                 port.store_u8(l.class_map + seg + k, SEG_FREE);
             }
             port.exec(4 + 2 * span);
+            self.peak_tx_alloc = self.peak_tx_alloc.max(self.tx_alloc_bytes);
             self.tx_alloc_bytes = self
                 .tx_alloc_bytes
                 .saturating_sub(span * self.config.segment_bytes);
@@ -528,9 +589,11 @@ impl Allocator for DdMalloc {
             port.store_u64(addr, head);
             port.store_u64(chain_addr, addr.raw());
             port.exec(5);
+            self.peak_tx_alloc = self.peak_tx_alloc.max(self.tx_alloc_bytes);
             self.tx_alloc_bytes = self
                 .tx_alloc_bytes
                 .saturating_sub(self.classes.size_of(class));
+            self.touch_class(class);
             self.class_live[class] = self.class_live[class].saturating_sub(1);
             self.class_free[class] += 1;
         }
@@ -614,12 +677,14 @@ impl Allocator for DdMalloc {
         port.store_u64(l.rotor_addr, 0);
         port.exec(24 + 6 * n_classes + 2 * (hw / 8));
         self.stats.free_alls += 1;
+        self.peak_tx_alloc = self.peak_tx_alloc.max(self.tx_alloc_bytes);
         self.tx_alloc_bytes = 0;
         // Mirrors: only the retained primary segments stay used, free
-        // lists are gone, nothing is live.
-        self.class_live.iter_mut().for_each(|c| *c = 0);
-        self.class_free.iter_mut().for_each(|c| *c = 0);
-        self.segs_used = self.hint_set.iter().filter(|&&h| h).count() as u64;
+        // lists are gone, nothing is live. The per-class vectors are
+        // cleared lazily (epoch bump); the used-segment count is the
+        // maintained hint counter, not a rescan.
+        self.epoch += 1;
+        self.segs_used = self.hint_count;
         self.free_all_ns += t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
         exit_mm(port);
     }
@@ -630,7 +695,7 @@ impl Allocator for DdMalloc {
         Footprint {
             heap_bytes: self.hw_mirror * self.config.segment_bytes,
             metadata_bytes: n_classes * 16 + n_segs + n_segs * 4 + 16,
-            peak_tx_alloc_bytes: self.peak_tx_alloc,
+            peak_tx_alloc_bytes: self.peak_tx_alloc.max(self.tx_alloc_bytes),
         }
     }
 

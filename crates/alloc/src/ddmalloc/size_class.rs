@@ -24,6 +24,41 @@ pub enum ClassMapping {
     Fine8,
 }
 
+/// Granularity of the small-size lookup table. Every class size in every
+/// mapping is a multiple of 8, so `class_of` is constant on each
+/// `(8k, 8(k+1)]` interval and one table entry per granule suffices.
+const LUT_GRANULE: u64 = 8;
+
+/// Largest request size covered by the lookup table. 2 KB spans the
+/// entire fine-grained region of every mapping (Paper's ×8/×32 rules end
+/// at 512 B, Fine8's ×8 rule at 1 KB), so everything above it follows a
+/// closed-form progression handled by [`Tail`].
+const LUT_MAX: u64 = 2048;
+
+/// How to map request sizes above [`LUT_MAX`] without searching.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Tail {
+    /// The table ends at or below [`LUT_MAX`]: every small size is in the
+    /// LUT.
+    None,
+    /// Classes double: `class = first_class + (ceil_log2(size) - first_log2)`
+    /// (Paper and PowersOfTwo above the LUT).
+    Pow2 { first_class: u32, first_log2: u32 },
+    /// Classes step arithmetically from `prev_size` (the largest class
+    /// size the LUT still covers):
+    /// `class = first_class + (size - prev_size - 1) / step`
+    /// (Fine8's ×64 region above the LUT).
+    Step {
+        first_class: u32,
+        prev_size: u64,
+        step: u64,
+    },
+    /// No recognized progression: fall back to binary search. Unused by
+    /// the built-in mappings, kept so new mappings stay correct by
+    /// default.
+    Search,
+}
+
 /// The resolved size-class table for a given segment size.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SizeClasses {
@@ -31,6 +66,14 @@ pub struct SizeClasses {
     mapping: ClassMapping,
     /// Requests above this are "large" (whole segments).
     large_threshold: u64,
+    /// `lut[ceil(size / 8)]` is the class of `size`, for
+    /// `size <= lut_max`. Entry 0 is unused (zero-sized requests are
+    /// rejected upstream).
+    lut: Vec<u16>,
+    /// Largest size the LUT covers: `min(LUT_MAX, large_threshold)`.
+    lut_max: u64,
+    /// Closed-form mapping for `lut_max < size <= large_threshold`.
+    tail: Tail,
 }
 
 impl SizeClasses {
@@ -82,11 +125,70 @@ impl SizeClasses {
                 }
             }
         }
+        debug_assert!(
+            sizes.iter().all(|s| s % LUT_GRANULE == 0),
+            "class sizes must be multiples of {LUT_GRANULE} for the LUT"
+        );
+        let lut_max = LUT_MAX.min(large_threshold);
+        let mut lut = vec![0u16; (lut_max / LUT_GRANULE) as usize + 1];
+        for (idx, slot) in lut.iter_mut().enumerate().skip(1) {
+            // The largest size in the granule; every size in it shares
+            // the class because class boundaries sit on multiples of 8.
+            let size = idx as u64 * LUT_GRANULE;
+            let class = match sizes.binary_search(&size) {
+                Ok(i) | Err(i) => i,
+            };
+            *slot = u16::try_from(class).expect("LUT region has < 2^16 classes");
+        }
+        let tail = Self::derive_tail(&sizes, lut_max, large_threshold);
         SizeClasses {
             sizes,
             mapping,
             large_threshold,
+            lut,
+            lut_max,
+            tail,
         }
+    }
+
+    /// Recognizes the progression the class table follows above
+    /// `lut_max`, so `class_of` never searches on the hot path.
+    fn derive_tail(sizes: &[u64], lut_max: u64, large_threshold: u64) -> Tail {
+        if lut_max >= large_threshold {
+            return Tail::None;
+        }
+        let first_class = sizes.partition_point(|&s| s <= lut_max);
+        let tail_sizes = &sizes[first_class..];
+        let Some(&first) = tail_sizes.first() else {
+            // Sizes in (lut_max, large_threshold] exist but have no
+            // class — the constructor never builds such a table, but
+            // searching keeps even that case correct.
+            return Tail::Search;
+        };
+        let doubling = first.is_power_of_two()
+            && lut_max >= first / 2
+            && tail_sizes.windows(2).all(|w| w[1] == w[0] * 2);
+        if doubling {
+            return Tail::Pow2 {
+                first_class: first_class as u32,
+                first_log2: first.trailing_zeros(),
+            };
+        }
+        let step = match tail_sizes {
+            [a, b, ..] => b - a,
+            _ => first - lut_max,
+        };
+        let arithmetic = step > 0
+            && first - step <= lut_max
+            && tail_sizes.windows(2).all(|w| w[1] == w[0] + step);
+        if arithmetic {
+            return Tail::Step {
+                first_class: first_class as u32,
+                prev_size: first - step,
+                step,
+            };
+        }
+        Tail::Search
     }
 
     /// The mapping policy this table was built with.
@@ -106,16 +208,54 @@ impl SizeClasses {
 
     /// Maps a request to its size class, or `None` for large requests.
     ///
+    /// This is the allocator's hottest lookup: small sizes are one
+    /// branch-free table load, larger ones a closed-form shift or divide
+    /// ([`Tail`]). Must agree with [`SizeClasses::class_of_reference`]
+    /// for every size — the test suite checks this exhaustively.
+    ///
     /// # Panics
     ///
     /// Panics in debug builds for zero-sized requests (the allocator
     /// rejects those before mapping).
+    #[inline]
     pub fn class_of(&self, size: u64) -> Option<usize> {
+        debug_assert!(size > 0, "zero-sized request reached the class mapper");
+        if size <= self.lut_max {
+            let idx = (size.div_ceil(LUT_GRANULE)) as usize;
+            return Some(self.lut[idx] as usize);
+        }
+        if size > self.large_threshold {
+            return None;
+        }
+        match self.tail {
+            Tail::Pow2 {
+                first_class,
+                first_log2,
+            } => {
+                // ceil(log2(size)) for size >= 2; size > lut_max >= 8 here.
+                let log2 = u64::BITS - (size - 1).leading_zeros();
+                Some(first_class as usize + (log2 - first_log2) as usize)
+            }
+            Tail::Step {
+                first_class,
+                prev_size,
+                step,
+            } => Some(first_class as usize + ((size - prev_size - 1) / step) as usize),
+            // `None` is unreachable (lut_max == large_threshold there);
+            // searching is harmlessly correct for it too.
+            Tail::None | Tail::Search => self.class_of_reference(size),
+        }
+    }
+
+    /// Reference mapping: binary search over the sorted class table.
+    ///
+    /// Kept public so tests can check [`SizeClasses::class_of`] against
+    /// it; not used on the allocation path.
+    pub fn class_of_reference(&self, size: u64) -> Option<usize> {
         debug_assert!(size > 0, "zero-sized request reached the class mapper");
         if size > self.large_threshold {
             return None;
         }
-        // The tables are small (≤ ~130 entries) and sorted: binary search.
         match self.sizes.binary_search(&size) {
             Ok(i) => Some(i),
             Err(i) => Some(i), // first class >= size

@@ -1,0 +1,93 @@
+//! Equivalence tests for the size-class fast path.
+//!
+//! `SizeClasses::class_of` answers from a granule-8 lookup table plus a
+//! closed-form tail; `SizeClasses::class_of_reference` is the original
+//! binary search. They must agree for every size, every mapping, and
+//! every segment geometry — exhaustively below the large threshold and
+//! property-tested across the shift/step tail and the large region.
+
+use proptest::prelude::*;
+use webmm_alloc::{ClassMapping, SizeClasses};
+
+const MAPPINGS: [ClassMapping; 3] = [
+    ClassMapping::Paper,
+    ClassMapping::PowersOfTwo,
+    ClassMapping::Fine8,
+];
+
+/// Segment geometries worth covering: the minimum legal size, the
+/// default-ish 32 KB, one where the LUT covers the whole table
+/// (threshold <= 2 KB), and one with a long tail.
+const SEGMENTS: [u64; 4] = [1024, 4 * 1024, 32 * 1024, 512 * 1024];
+
+#[test]
+fn fast_path_matches_reference_for_every_small_size() {
+    for mapping in MAPPINGS {
+        for segment in SEGMENTS {
+            let sc = SizeClasses::new(segment, mapping);
+            // Every size through the threshold, plus a margin into the
+            // large region where both must answer None.
+            for size in 1..=sc.large_threshold() + 64 {
+                assert_eq!(
+                    sc.class_of(size),
+                    sc.class_of_reference(size),
+                    "{mapping:?} segment={segment} size={size}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fast_path_class_still_fits_the_request() {
+    for mapping in MAPPINGS {
+        let sc = SizeClasses::new(32 * 1024, mapping);
+        for size in 1..=sc.large_threshold() {
+            let class = sc.class_of(size).expect("small size maps");
+            assert!(sc.size_of(class) >= size, "{mapping:?} size={size}");
+            if class > 0 {
+                assert!(
+                    sc.size_of(class - 1) < size,
+                    "{mapping:?} size={size}: class not minimal"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+    /// The tail region (sizes above the LUT) across large segments: the
+    /// pow2-shift and ×64-step closed forms agree with the search.
+    #[test]
+    fn tail_region_matches_reference(
+        segment_log2 in 12u32..=22,
+        size in 2049u64..=4 * 1024 * 1024,
+    ) {
+        let segment = 1u64 << segment_log2;
+        for mapping in MAPPINGS {
+            let sc = SizeClasses::new(segment, mapping);
+            prop_assert_eq!(
+                sc.class_of(size),
+                sc.class_of_reference(size),
+                "{:?} segment={} size={}", mapping, segment, size
+            );
+        }
+    }
+
+    /// Large requests (above half a segment) always map to None.
+    #[test]
+    fn large_requests_are_never_classed(
+        segment_log2 in 10u32..=22,
+        excess in 1u64..=1 << 20,
+    ) {
+        let segment = 1u64 << segment_log2;
+        for mapping in MAPPINGS {
+            let sc = SizeClasses::new(segment, mapping);
+            let size = sc.large_threshold() + excess;
+            prop_assert_eq!(sc.class_of(size), None);
+            prop_assert_eq!(sc.class_of_reference(size), None);
+        }
+    }
+}

@@ -1,37 +1,41 @@
 //! Native shootout: the paper's allocators on real threads.
 //!
-//! Sweeps worker count × allocator family through the `webmm-server`
-//! native serving harness — actual OS threads, one heap per worker, a
-//! bounded ingress queue — and reports wall-clock throughput and
-//! admission-to-completion latency quantiles. The companion to the
-//! simulated Figure 5 sweep: where `fig5` predicts scaling from the bus
-//! model, this measures the allocators' real single-thread costs and
-//! scheduling behaviour on the host.
+//! Sweeps worker count × allocator family × ingress queue mode through
+//! the `webmm-server` native serving harness — actual OS threads, one
+//! heap per worker, a bounded ingress queue — and reports wall-clock
+//! throughput and admission-to-completion latency quantiles. The
+//! companion to the simulated Figure 5 sweep: where `fig5` predicts
+//! scaling from the bus model, this measures the allocators' real
+//! single-thread costs and scheduling behaviour on the host. Running
+//! both queue modes on identical workloads is how the sharded
+//! work-stealing ingress is A/B'd against the single global lock.
 //!
 //! Usage:
 //!
 //! ```text
 //! cargo run --release -p webmm-bench --bin native_shootout -- \
-//!     --workers 4 --tx 10000 [--scale 1024] [--seed 42] \
+//!     --workers 1,2,4 --tx 10000 [--scale 1024] [--seed 42] \
 //!     [--policy block|reject|shed-oldest] [--capacity 128] \
+//!     [--queue global|sharded|both] [--batch 32] \
 //!     [--out BENCH_native.json] \
 //!     [--obs-interval 10ms] [--obs-out OBS_native.jsonl]
 //! ```
 //!
-//! Writes every cell of the sweep to `BENCH_native.json`
-//! (allocator, workers, tx_per_sec, latency summary). With
-//! `--obs-interval`, every cell runs with live telemetry attached: a
-//! sampler snapshots queue depth, sliding-window latency quantiles and
-//! per-worker heap occupancy at that interval, the last sample of each
-//! cell is rendered as a dashboard, and `--obs-out` collects the full
-//! time series of all cells into one JSONL file (the `run` field names
-//! the cell, e.g. `ddmalloc-w4`).
+//! Writes every cell of the sweep to `BENCH_native.json` (allocator,
+//! workers, queue mode, tx_per_sec, steal counters, the host's available
+//! parallelism, latency summary). With `--obs-interval`, every cell runs
+//! with live telemetry attached: a sampler snapshots queue depth,
+//! sliding-window latency quantiles and per-worker heap occupancy at
+//! that interval, the last sample of each cell is rendered as a
+//! dashboard, and `--obs-out` collects the full time series of all cells
+//! into one JSONL file (the `run` field names the cell, e.g.
+//! `ddmalloc-sharded-w4`).
 
 use std::time::Duration;
 use webmm_alloc::AllocatorKind;
 use webmm_profiler::report::{heading, table};
 use webmm_server::{
-    drive_closed, render_dashboard, AdmissionPolicy, LatencySummary, ObsConfig, Server,
+    drive_closed, render_dashboard, AdmissionPolicy, LatencySummary, ObsConfig, QueueMode, Server,
     ServerConfig, TxFactory,
 };
 use webmm_workload::phpbb;
@@ -43,19 +47,33 @@ use webmm_workload::phpbb;
 struct NativeBenchEntry {
     allocator: String,
     workers: u64,
+    /// Ingress implementation this cell ran on (`global` or `sharded`).
+    queue: String,
     tx_per_sec: f64,
     latency: LatencySummary,
     completed: u64,
     shed: u64,
+    /// Transactions served by a worker other than the one whose shard
+    /// admitted them (0 in global mode).
+    steals: u64,
+    /// `steals / completed` — how much of the throughput came through
+    /// the stealing path.
+    steal_rate: f64,
+    /// `std::thread::available_parallelism()` on the machine that
+    /// produced this entry: scaling curves are only meaningful relative
+    /// to the hardware concurrency that was actually available.
+    parallelism: u64,
 }
 
 struct Args {
-    workers: usize,
+    workers: Vec<usize>,
     tx: u64,
     scale: u32,
     seed: u64,
     policy: AdmissionPolicy,
     capacity: usize,
+    queues: Vec<QueueMode>,
+    batch: usize,
     out: String,
     obs_interval: Option<Duration>,
     obs_out: Option<String>,
@@ -74,14 +92,28 @@ fn parse_duration(v: &str) -> Option<Duration> {
     }
 }
 
+/// Parses `1,2,4,8` (or a single count) into the worker sweep.
+fn parse_workers(v: &str) -> Option<Vec<usize>> {
+    let points: Vec<usize> = v
+        .split(',')
+        .map(|p| p.trim().parse().ok())
+        .collect::<Option<_>>()?;
+    if points.is_empty() || points.contains(&0) {
+        return None;
+    }
+    Some(points)
+}
+
 fn parse_args() -> Args {
     let mut args = Args {
-        workers: 4,
+        workers: vec![1, 2, 4],
         tx: 10_000,
         scale: 1024,
         seed: 42,
         policy: AdmissionPolicy::Block,
         capacity: 128,
+        queues: vec![QueueMode::Global, QueueMode::Sharded],
+        batch: 32,
         out: "BENCH_native.json".to_string(),
         obs_interval: None,
         obs_out: None,
@@ -95,17 +127,34 @@ fn parse_args() -> Args {
             })
         };
         match flag.as_str() {
-            "--workers" => args.workers = value().parse().expect("--workers takes a count"),
+            "--workers" => {
+                let v = value();
+                args.workers = parse_workers(&v).unwrap_or_else(|| {
+                    eprintln!("bad --workers `{v}` (comma list of counts, e.g. 1,2,4)");
+                    std::process::exit(2);
+                });
+            }
             "--tx" => args.tx = value().parse().expect("--tx takes a count"),
             "--scale" => args.scale = value().parse().expect("--scale takes a divisor"),
             "--seed" => args.seed = value().parse().expect("--seed takes a u64"),
             "--capacity" => args.capacity = value().parse().expect("--capacity takes a count"),
+            "--batch" => args.batch = value().parse().expect("--batch takes a count"),
             "--policy" => {
                 let v = value();
                 args.policy = AdmissionPolicy::from_id(&v).unwrap_or_else(|| {
                     eprintln!("unknown policy `{v}` (block|reject|shed-oldest)");
                     std::process::exit(2);
                 });
+            }
+            "--queue" => {
+                let v = value();
+                args.queues = match v.as_str() {
+                    "both" => vec![QueueMode::Global, QueueMode::Sharded],
+                    _ => vec![QueueMode::from_id(&v).unwrap_or_else(|| {
+                        eprintln!("unknown queue mode `{v}` (global|sharded|both)");
+                        std::process::exit(2);
+                    })],
+                };
             }
             "--out" => args.out = value(),
             "--obs-interval" => {
@@ -119,8 +168,9 @@ fn parse_args() -> Args {
             other => {
                 eprintln!("unknown flag `{other}`");
                 eprintln!(
-                    "usage: native_shootout [--workers N] [--tx N] [--scale N] [--seed N] \
-                     [--policy block|reject|shed-oldest] [--capacity N] [--out FILE] \
+                    "usage: native_shootout [--workers N,N,..] [--tx N] [--scale N] [--seed N] \
+                     [--policy block|reject|shed-oldest] [--capacity N] \
+                     [--queue global|sharded|both] [--batch N] [--out FILE] \
                      [--obs-interval DUR] [--obs-out FILE]"
                 );
                 std::process::exit(2);
@@ -134,86 +184,98 @@ fn parse_args() -> Args {
     args
 }
 
-/// Worker counts to sweep: powers of two up to the requested maximum,
-/// always including the maximum itself.
-fn sweep_points(max: usize) -> Vec<usize> {
-    let mut points: Vec<usize> = std::iter::successors(Some(1usize), |w| Some(w * 2))
-        .take_while(|w| *w < max)
-        .collect();
-    points.push(max);
-    points
-}
-
 fn main() {
     let args = parse_args();
+    let parallelism = std::thread::available_parallelism()
+        .map(|n| n.get() as u64)
+        .unwrap_or(1);
     print!(
         "{}",
         heading(&format!(
-            "Native shootout: phpBB, {} tx/cell, scale 1/{}, policy {}",
+            "Native shootout: phpBB, {} tx/cell, scale 1/{}, policy {}, host parallelism {}",
             args.tx,
             args.scale,
-            args.policy.id()
+            args.policy.id(),
+            parallelism,
         ))
     );
 
     let mut rows = vec![vec![
         "allocator".to_string(),
+        "queue".to_string(),
         "workers".to_string(),
         "tx/s".to_string(),
         "p50 us".to_string(),
         "p95 us".to_string(),
         "p99 us".to_string(),
         "shed".to_string(),
+        "steal %".to_string(),
     ]];
     let mut entries = Vec::new();
     let mut obs_lines: Vec<String> = Vec::new();
     for kind in AllocatorKind::PHP_STUDY {
-        for workers in sweep_points(args.workers) {
-            let obs = args.obs_interval.map(|interval| ObsConfig {
-                interval,
-                run: format!("{}-w{workers}", kind.id()),
-                ..ObsConfig::default()
-            });
-            let server = Server::start(ServerConfig {
-                kind,
-                workers,
-                queue_capacity: args.capacity,
-                policy: args.policy,
-                static_bytes: 2 << 20,
-                obs,
-            });
-            let factory = TxFactory::new(phpbb(), args.scale, args.seed);
-            let clients = (workers * 2).max(2);
-            drive_closed(&server, factory, args.tx, clients);
-            let (report, samples) = server.finish_with_obs();
-            assert_eq!(
-                report.completed + report.shed,
-                report.submitted,
-                "accounting identity broken for {kind} @ {workers} workers"
-            );
-            if let Some(last) = samples.last() {
-                print!("{}", render_dashboard(last));
+        for &queue_mode in &args.queues {
+            for &workers in &args.workers {
+                let obs = args.obs_interval.map(|interval| ObsConfig {
+                    interval,
+                    run: format!("{}-{}-w{workers}", kind.id(), queue_mode.id()),
+                    ..ObsConfig::default()
+                });
+                let server = Server::start(ServerConfig {
+                    kind,
+                    workers,
+                    queue_capacity: args.capacity,
+                    policy: args.policy,
+                    queue_mode,
+                    batch: args.batch,
+                    static_bytes: 2 << 20,
+                    obs,
+                });
+                let factory = TxFactory::new(phpbb(), args.scale, args.seed);
+                let clients = (workers * 2).max(2);
+                drive_closed(&server, factory, args.tx, clients);
+                let (report, samples) = server.finish_with_obs();
+                assert_eq!(
+                    report.completed + report.shed,
+                    report.submitted,
+                    "accounting identity broken for {kind} ({}) @ {workers} workers",
+                    queue_mode.id(),
+                );
+                if let Some(last) = samples.last() {
+                    print!("{}", render_dashboard(last));
+                }
+                for sample in &samples {
+                    obs_lines.push(serde_json::to_string(sample).expect("sample serializes"));
+                }
+                let steal_rate = if report.completed > 0 {
+                    report.steals as f64 / report.completed as f64
+                } else {
+                    0.0
+                };
+                rows.push(vec![
+                    report.allocator.clone(),
+                    report.queue_mode.clone(),
+                    format!("{workers}"),
+                    format!("{:10.1}", report.tx_per_sec),
+                    format!("{:8.1}", report.latency.p50_ns as f64 / 1e3),
+                    format!("{:8.1}", report.latency.p95_ns as f64 / 1e3),
+                    format!("{:8.1}", report.latency.p99_ns as f64 / 1e3),
+                    format!("{}", report.shed),
+                    format!("{:5.1}", steal_rate * 100.0),
+                ]);
+                entries.push(NativeBenchEntry {
+                    allocator: report.allocator.clone(),
+                    workers: report.workers,
+                    queue: report.queue_mode.clone(),
+                    tx_per_sec: report.tx_per_sec,
+                    latency: report.latency,
+                    completed: report.completed,
+                    shed: report.shed,
+                    steals: report.steals,
+                    steal_rate,
+                    parallelism,
+                });
             }
-            for sample in &samples {
-                obs_lines.push(serde_json::to_string(sample).expect("sample serializes"));
-            }
-            rows.push(vec![
-                report.allocator.clone(),
-                format!("{workers}"),
-                format!("{:10.1}", report.tx_per_sec),
-                format!("{:8.1}", report.latency.p50_ns as f64 / 1e3),
-                format!("{:8.1}", report.latency.p95_ns as f64 / 1e3),
-                format!("{:8.1}", report.latency.p99_ns as f64 / 1e3),
-                format!("{}", report.shed),
-            ]);
-            entries.push(NativeBenchEntry {
-                allocator: report.allocator.clone(),
-                workers: report.workers,
-                tx_per_sec: report.tx_per_sec,
-                latency: report.latency,
-                completed: report.completed,
-                shed: report.shed,
-            });
         }
     }
     print!("{}", table(&rows));

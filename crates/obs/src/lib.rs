@@ -25,6 +25,9 @@
 //! * [`TxTracer`] / [`TxSpan`] — fixed-capacity per-worker ring buffers
 //!   of raw transaction spans (`enqueue → dequeue → complete`, bytes,
 //!   shed flag) with whole-ring dump on demand.
+//! * [`ShardSample`] — per-shard depth, admission, and steal counters
+//!   for sharded work-stealing ingress queues, published in every
+//!   telemetry sample so shard imbalance is visible live.
 //!
 //! The crate is dependency-free beyond `serde` (for one shared JSON path
 //! with the bench reports) and knows nothing about servers, queues, or
@@ -34,11 +37,13 @@
 mod heap;
 mod histogram;
 mod registry;
+mod shard;
 mod trace;
 mod window;
 
 pub use heap::{ClassOccupancy, HeapSnapshot, HeapTelemetry};
 pub use histogram::{LatencyHistogram, LatencySummary};
 pub use registry::{MetricHandle, MetricKind, MetricSample, MetricsRegistry, MetricsSnapshot};
+pub use shard::ShardSample;
 pub use trace::{SpanRing, TxSpan, TxTracer};
 pub use window::{AtomicHistogram, SlidingWindow};

@@ -1,0 +1,32 @@
+//! Per-shard ingress counters for sharded work-stealing queues.
+//!
+//! The serving harness can replace its single global ingress queue with
+//! one shard per worker (see `webmm-server`'s DESIGN notes on ingress
+//! sharding). Each shard then carries its own admission counters plus a
+//! steal counter, and the sampler publishes one [`ShardSample`] per shard
+//! in every telemetry sample so imbalance — a hot shard, a starved
+//! worker living off steals — is visible live, not just in the final
+//! report.
+//!
+//! The type lives here rather than in `webmm-server` because it is pure
+//! observation data: the JSONL exporter, dashboards, and offline tooling
+//! all deserialize it without pulling in the server crate.
+
+/// Depth and admission/steal counters for one ingress shard at sampling
+/// time.
+#[derive(Clone, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ShardSample {
+    /// Shard index (shard *i* is worker *i*'s home shard).
+    pub shard: u64,
+    /// Transactions queued in this shard at sampling time.
+    pub depth: u64,
+    /// Cumulative submissions routed to this shard.
+    pub submitted: u64,
+    /// Cumulative sheds charged to this shard (rejections at its door
+    /// plus shed-oldest victims displaced from its buffer).
+    pub shed: u64,
+    /// Deepest this shard has been.
+    pub max_depth: u64,
+    /// Transactions other workers have stolen *from* this shard.
+    pub stolen: u64,
+}

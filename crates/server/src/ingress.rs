@@ -1,0 +1,137 @@
+//! Ingress dispatch: one server-facing surface over both queue modes.
+//!
+//! The server, the workers, and the telemetry sampler all talk to an
+//! [`IngressQueue`], which is either the single global [`TxQueue`]
+//! (baseline: one lock everyone contends on) or the per-worker
+//! [`ShardedTxQueue`] with batched drain and work stealing. Keeping both
+//! behind one enum — rather than replacing the global queue outright —
+//! is what lets `native_shootout --queue=global|sharded` measure the
+//! sharding win on identical workloads.
+
+use crate::queue::{Admission, AdmissionPolicy, QueueMode, QueueSnapshot, QueuedTx, TxQueue};
+use crate::shard::{Fill, ShardedTxQueue};
+use crate::telemetry::ServerTelemetry;
+use crate::Transaction;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Either ingress implementation, dispatched by [`QueueMode`].
+pub(crate) enum IngressQueue {
+    /// The single shared queue.
+    Global(TxQueue),
+    /// Per-worker shards with stealing.
+    Sharded(ShardedTxQueue),
+}
+
+impl IngressQueue {
+    /// Builds the queue `mode` asks for: `workers` shards (sharded mode)
+    /// or one shared buffer (global mode), `capacity` transactions in
+    /// total either way.
+    pub(crate) fn new(
+        mode: QueueMode,
+        workers: usize,
+        capacity: usize,
+        policy: AdmissionPolicy,
+        batch: usize,
+    ) -> Self {
+        match mode {
+            QueueMode::Global => IngressQueue::Global(TxQueue::new(capacity, policy)),
+            QueueMode::Sharded => {
+                IngressQueue::Sharded(ShardedTxQueue::new(workers, capacity, policy, batch))
+            }
+        }
+    }
+
+    /// Which mode this queue implements.
+    pub(crate) fn mode(&self) -> QueueMode {
+        match self {
+            IngressQueue::Global(_) => QueueMode::Global,
+            IngressQueue::Sharded(_) => QueueMode::Sharded,
+        }
+    }
+
+    pub(crate) fn install_telemetry(&mut self, telemetry: Arc<ServerTelemetry>) {
+        match self {
+            IngressQueue::Global(q) => q.install_telemetry(telemetry),
+            IngressQueue::Sharded(q) => q.install_telemetry(telemetry),
+        }
+    }
+
+    pub(crate) fn submit(&self, tx: Transaction) -> Admission {
+        match self {
+            IngressQueue::Global(q) => q.submit(tx),
+            IngressQueue::Sharded(q) => q.submit(tx),
+        }
+    }
+
+    /// Affinity-keyed submission: pins the transaction to the shard
+    /// `key` hashes to. The global queue has no shards, so the key is
+    /// accepted and ignored.
+    pub(crate) fn submit_affinity(&self, key: u64, tx: Transaction) -> Admission {
+        match self {
+            IngressQueue::Global(q) => q.submit(tx),
+            IngressQueue::Sharded(q) => q.submit_affinity(key, tx),
+        }
+    }
+
+    /// Worker-side intake: refills `out` with the next batch of work.
+    /// The global queue hands over one transaction per call (the
+    /// baseline's per-transaction lock cost is the thing being measured);
+    /// the sharded queue drains or steals whole batches.
+    pub(crate) fn fill(&self, worker: usize, out: &mut VecDeque<QueuedTx>) -> Fill {
+        match self {
+            IngressQueue::Global(q) => match q.pop() {
+                Some(queued) => {
+                    out.push_back(queued);
+                    Fill::Own(1)
+                }
+                None => Fill::Closed,
+            },
+            IngressQueue::Sharded(q) => q.pop_batch(worker, out),
+        }
+    }
+
+    pub(crate) fn close(&self) {
+        match self {
+            IngressQueue::Global(q) => q.close(),
+            IngressQueue::Sharded(q) => q.close(),
+        }
+    }
+
+    pub(crate) fn depth(&self) -> usize {
+        match self {
+            IngressQueue::Global(q) => q.depth(),
+            IngressQueue::Sharded(q) => q.depth(),
+        }
+    }
+
+    pub(crate) fn capacity(&self) -> usize {
+        match self {
+            IngressQueue::Global(q) => q.capacity(),
+            IngressQueue::Sharded(q) => q.capacity(),
+        }
+    }
+
+    pub(crate) fn counters(&self) -> crate::queue::QueueCounters {
+        match self {
+            IngressQueue::Global(q) => q.counters(),
+            IngressQueue::Sharded(q) => q.counters(),
+        }
+    }
+
+    pub(crate) fn policy(&self) -> AdmissionPolicy {
+        match self {
+            IngressQueue::Global(q) => q.policy(),
+            IngressQueue::Sharded(q) => q.policy(),
+        }
+    }
+
+    /// Depth, counters, and (sharded mode) the per-shard breakdown, each
+    /// shard's lock taken exactly once.
+    pub(crate) fn snapshot(&self) -> QueueSnapshot {
+        match self {
+            IngressQueue::Global(q) => q.snapshot(),
+            IngressQueue::Sharded(q) => q.snapshot(),
+        }
+    }
+}

@@ -12,6 +12,11 @@
 //!
 //! * [`TxQueue`] / [`AdmissionPolicy`] — bounded MPMC ingress with
 //!   block / reject / shed-oldest backpressure, every outcome counted;
+//! * [`ShardedTxQueue`] / [`QueueMode`] — the scalable ingress: one
+//!   shard per worker, batched drain (up to `batch` transactions per
+//!   lock acquisition), and steal-half work stealing when a worker's
+//!   own shard runs dry; admission policies apply per shard, and the
+//!   accounting identity holds across steals;
 //! * worker threads — one [`PlainPort`](webmm_sim::PlainPort) address
 //!   space and one heap each, replaying the workload's
 //!   malloc/free/freeAll schedule; `freeAll` (or a survivor sweep for
@@ -49,19 +54,22 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod ingress;
 mod loadgen;
 mod queue;
 mod server;
+mod shard;
 mod telemetry;
 mod worker;
 
 pub use loadgen::{drive_closed, drive_open, TxFactory};
-pub use queue::{Admission, AdmissionPolicy, QueueCounters, TxQueue};
+pub use queue::{Admission, AdmissionPolicy, QueueCounters, QueueMode, QueueSnapshot, TxQueue};
 pub use server::{Ingress, Server, ServerConfig, ServerReport};
+pub use shard::ShardedTxQueue;
 pub use telemetry::{render_dashboard, ObsConfig, ObsSample, ServerTelemetry, WorkerHeapSample};
 // The histogram is defined in `webmm-obs` so live windows and final
 // reports share one implementation; re-exported here for compatibility.
-pub use webmm_obs::{LatencyHistogram, LatencySummary, TxSpan};
+pub use webmm_obs::{LatencyHistogram, LatencySummary, ShardSample, TxSpan};
 pub use worker::WorkerReport;
 
 use webmm_workload::WorkOp;

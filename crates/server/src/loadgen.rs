@@ -159,7 +159,7 @@ mod tests {
             queue_capacity: 8,
             policy: AdmissionPolicy::Block,
             static_bytes: 1 << 16,
-            obs: None,
+            ..ServerConfig::default()
         });
         drive_closed(&server, TxFactory::new(phpbb(), 1024, 3), 20, 3);
         let report = server.finish();
@@ -176,7 +176,7 @@ mod tests {
             queue_capacity: 2,
             policy: AdmissionPolicy::ShedOldest,
             static_bytes: 1 << 16,
-            obs: None,
+            ..ServerConfig::default()
         });
         drive_open(&server.ingress(), TxFactory::new(phpbb(), 64, 5), 40, 1e6);
         let report = server.finish();

@@ -16,7 +16,40 @@ use crate::Transaction;
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
-use webmm_obs::TxSpan;
+use webmm_obs::{ShardSample, TxSpan};
+
+/// Which ingress implementation a server runs behind.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub enum QueueMode {
+    /// One shared [`TxQueue`]: every submitter and every worker contends
+    /// on the same lock. The baseline the paper's bus-contention argument
+    /// predicts will stop scaling.
+    Global,
+    /// One shard per worker with batched drain and work stealing (see
+    /// [`ShardedTxQueue`](crate::ShardedTxQueue)): submissions spread
+    /// round-robin (or by affinity key) over per-worker queues, workers
+    /// drain their own shard in batches under one lock acquisition and
+    /// steal half a victim's backlog when theirs runs dry.
+    #[default]
+    Sharded,
+}
+
+impl QueueMode {
+    /// Stable identifier for CLI arguments and JSON output.
+    pub fn id(self) -> &'static str {
+        match self {
+            QueueMode::Global => "global",
+            QueueMode::Sharded => "sharded",
+        }
+    }
+
+    /// Parses an id produced by [`QueueMode::id`].
+    pub fn from_id(id: &str) -> Option<Self> {
+        [QueueMode::Global, QueueMode::Sharded]
+            .into_iter()
+            .find(|m| m.id() == id)
+    }
+}
 
 /// What the queue does when a transaction arrives and the buffer is full.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -81,8 +114,45 @@ pub struct QueueCounters {
     /// Transactions dropped by admission control (rejections plus
     /// shed-oldest victims).
     pub shed: u64,
-    /// Deepest the queue has been.
+    /// Deepest the queue has been. For sharded queues this is the deepest
+    /// any single shard has been (depths at different shards peak at
+    /// different instants, so summing them would overstate backlog).
     pub max_depth: u64,
+}
+
+/// A coherent point-in-time view of a queue: depth and counters read
+/// under one lock acquisition per shard, instead of callers taking the
+/// lock once for [`TxQueue::depth`] and again for [`TxQueue::counters`].
+#[derive(Clone, Debug, Default)]
+pub struct QueueSnapshot {
+    /// Transactions queued across all shards at snapshot time.
+    pub depth: u64,
+    /// Admission counters summed across shards.
+    pub counters: QueueCounters,
+    /// Per-shard breakdown; empty for the global queue.
+    pub shards: Vec<ShardSample>,
+}
+
+/// Records a shed span for transaction `tx_id` into `telemetry`'s shed
+/// lane (shared between the global and sharded queues — sheds happen on
+/// submitter threads, not worker threads). `queued_for` is how long a
+/// shed-oldest victim sat in the queue (`None` for rejections at the
+/// front door).
+pub(crate) fn trace_shed(
+    telemetry: &Option<Arc<ServerTelemetry>>,
+    tx_id: u64,
+    queued_for: Option<std::time::Duration>,
+) {
+    if let Some(t) = telemetry {
+        let now = t.tracer.now_ns();
+        let waited = queued_for.map_or(0, |d| d.as_nanos().min(u128::from(u64::MAX)) as u64);
+        t.tracer.record_shed(TxSpan {
+            tx_id,
+            enqueue_ns: now.saturating_sub(waited),
+            complete_ns: now,
+            ..TxSpan::default()
+        });
+    }
 }
 
 struct QueueState {
@@ -137,16 +207,7 @@ impl TxQueue {
     /// long a shed-oldest victim sat in the queue (zero for rejections at
     /// the front door).
     fn trace_shed(&self, tx_id: u64, queued_for: Option<std::time::Duration>) {
-        if let Some(t) = &self.telemetry {
-            let now = t.tracer.now_ns();
-            let waited = queued_for.map_or(0, |d| d.as_nanos().min(u128::from(u64::MAX)) as u64);
-            t.tracer.record_shed(TxSpan {
-                tx_id,
-                enqueue_ns: now.saturating_sub(waited),
-                complete_ns: now,
-                ..TxSpan::default()
-            });
-        }
+        trace_shed(&self.telemetry, tx_id, queued_for);
     }
 
     /// The configured admission policy.
@@ -252,6 +313,18 @@ impl TxQueue {
     /// Snapshot of the admission counters.
     pub fn counters(&self) -> QueueCounters {
         self.state.lock().expect("queue lock").counters
+    }
+
+    /// Depth and counters under a single lock acquisition — what the
+    /// telemetry sampler wants, instead of paying (and racing) two
+    /// separate [`TxQueue::depth`] / [`TxQueue::counters`] locks.
+    pub fn snapshot(&self) -> QueueSnapshot {
+        let st = self.state.lock().expect("queue lock");
+        QueueSnapshot {
+            depth: st.buf.len() as u64,
+            counters: st.counters,
+            shards: Vec::new(),
+        }
     }
 }
 

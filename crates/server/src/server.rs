@@ -8,7 +8,8 @@
 //! a [`ServerReport`] whose accounting identity
 //! `submitted == completed + shed` is checked before it is returned.
 
-use crate::queue::{Admission, AdmissionPolicy, TxQueue};
+use crate::ingress::IngressQueue;
+use crate::queue::{Admission, AdmissionPolicy, QueueMode};
 use crate::telemetry::{ObsConfig, ObsSample, Sampler, ServerTelemetry};
 use crate::worker::{self, WorkerReport};
 use crate::Transaction;
@@ -25,10 +26,17 @@ pub struct ServerConfig {
     pub kind: AllocatorKind,
     /// Worker threads (one heap each).
     pub workers: usize,
-    /// Ingress queue capacity.
+    /// Ingress queue capacity (total across shards in sharded mode).
     pub queue_capacity: usize,
     /// What happens to arrivals when the queue is full.
     pub policy: AdmissionPolicy,
+    /// Ingress implementation: the single global queue, or one shard per
+    /// worker with batched drain and stealing (the default).
+    pub queue_mode: QueueMode,
+    /// Maximum transactions a worker takes from its shard per lock
+    /// acquisition (sharded mode only; the global queue hands over one at
+    /// a time).
+    pub batch: usize,
     /// Per-worker static data area (interpreter tables etc.), bytes.
     pub static_bytes: u64,
     /// Live telemetry (`None`: zero observation machinery is built).
@@ -42,6 +50,8 @@ impl Default for ServerConfig {
             workers: 4,
             queue_capacity: 128,
             policy: AdmissionPolicy::Block,
+            queue_mode: QueueMode::Sharded,
+            batch: 32,
             static_bytes: 2 << 20,
             obs: None,
         }
@@ -50,7 +60,7 @@ impl Default for ServerConfig {
 
 /// A running pool of allocator workers behind a bounded queue.
 pub struct Server {
-    queue: Arc<TxQueue>,
+    queue: Arc<IngressQueue>,
     handles: Vec<JoinHandle<(WorkerReport, LatencyHistogram)>>,
     kind: AllocatorKind,
     started: Instant,
@@ -63,14 +73,20 @@ impl Server {
     ///
     /// # Panics
     ///
-    /// Panics if `workers` or `queue_capacity` is zero.
+    /// Panics if `workers`, `queue_capacity`, or `batch` is zero.
     pub fn start(config: ServerConfig) -> Self {
         assert!(config.workers > 0, "server needs at least one worker");
         let telemetry = config
             .obs
             .as_ref()
             .map(|obs| Arc::new(ServerTelemetry::new(obs, config.workers)));
-        let mut queue = TxQueue::new(config.queue_capacity, config.policy);
+        let mut queue = IngressQueue::new(
+            config.queue_mode,
+            config.workers,
+            config.queue_capacity,
+            config.policy,
+            config.batch,
+        );
         if let Some(t) = &telemetry {
             queue.install_telemetry(Arc::clone(t));
         }
@@ -104,6 +120,13 @@ impl Server {
     /// Offers one transaction to the ingress queue.
     pub fn submit(&self, tx: Transaction) -> Admission {
         self.queue.submit(tx)
+    }
+
+    /// Offers one transaction pinned to the shard `key` hashes to —
+    /// affinity-keyed submission (same session, same tenant → same
+    /// worker heap). The global queue accepts and ignores the key.
+    pub fn submit_affinity(&self, key: u64, tx: Transaction) -> Admission {
+        self.queue.submit_affinity(key, tx)
     }
 
     /// A cloneable submission handle for client threads.
@@ -163,6 +186,7 @@ impl Server {
         let wall_ns = self.started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
         let counters = self.queue.counters();
         let completed: u64 = per_worker.iter().map(|w| w.completed).sum();
+        let steals: u64 = per_worker.iter().map(|w| w.steals).sum();
         assert_eq!(
             counters.submitted,
             completed + counters.shed,
@@ -177,9 +201,11 @@ impl Server {
             workers: per_worker.len() as u64,
             queue_capacity: self.queue.capacity() as u64,
             policy: self.queue.policy().id().to_string(),
+            queue_mode: self.queue.mode().id().to_string(),
             submitted: counters.submitted,
             completed,
             shed: counters.shed,
+            steals,
             max_queue_depth: counters.max_depth,
             wall_ns,
             tx_per_sec: if secs > 0.0 {
@@ -196,12 +222,18 @@ impl Server {
 
 /// Cloneable handle submitting transactions to a running [`Server`].
 #[derive(Clone)]
-pub struct Ingress(Arc<TxQueue>);
+pub struct Ingress(Arc<IngressQueue>);
 
 impl Ingress {
     /// Offers one transaction to the ingress queue.
     pub fn submit(&self, tx: Transaction) -> Admission {
         self.0.submit(tx)
+    }
+
+    /// Offers one transaction pinned to the shard `key` hashes to (see
+    /// [`Server::submit_affinity`]).
+    pub fn submit_affinity(&self, key: u64, tx: Transaction) -> Admission {
+        self.0.submit_affinity(key, tx)
     }
 }
 
@@ -216,13 +248,19 @@ pub struct ServerReport {
     pub queue_capacity: u64,
     /// Admission policy id.
     pub policy: String,
+    /// Ingress implementation id (`global` or `sharded`).
+    pub queue_mode: String,
     /// Transactions offered.
     pub submitted: u64,
     /// Transactions fully executed.
     pub completed: u64,
     /// Transactions dropped by admission control.
     pub shed: u64,
-    /// Deepest the ingress queue got.
+    /// Transactions served by a worker other than the one whose shard
+    /// admitted them (work stealing; 0 in global mode).
+    pub steals: u64,
+    /// Deepest the ingress queue got (deepest single shard in sharded
+    /// mode).
     pub max_queue_depth: u64,
     /// Wall-clock duration of the run (start to drain), nanoseconds.
     pub wall_ns: u64,
@@ -272,7 +310,7 @@ mod tests {
             queue_capacity: 16,
             policy: AdmissionPolicy::Block,
             static_bytes: 1 << 16,
-            obs: None,
+            ..ServerConfig::default()
         });
         for i in 0..50 {
             server.submit(tiny_tx(i));

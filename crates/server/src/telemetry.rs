@@ -23,11 +23,11 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 use webmm_obs::{
-    HeapSnapshot, LatencySummary, MetricKind, MetricSample, MetricsRegistry, SlidingWindow, TxSpan,
-    TxTracer,
+    HeapSnapshot, LatencySummary, MetricKind, MetricSample, MetricsRegistry, ShardSample,
+    SlidingWindow, TxSpan, TxTracer,
 };
 
-use crate::queue::TxQueue;
+use crate::ingress::IngressQueue;
 
 /// Configuration of the live-telemetry subsystem.
 #[derive(Clone, Debug)]
@@ -109,15 +109,19 @@ impl ServerTelemetry {
         self.tracer.dump()
     }
 
-    /// Assembles one time-series sample from the current state.
-    pub fn sample(&self, queue: &TxQueue) -> ObsSample {
-        let counters = queue.counters();
+    /// Assembles one time-series sample from the current state. The
+    /// queue's depth, counters, and per-shard breakdown come from one
+    /// coherent [`snapshot`](crate::TxQueue::snapshot) — a single lock
+    /// acquisition per shard, not separate `depth()`/`counters()` locks.
+    pub(crate) fn sample(&self, queue: &IngressQueue) -> ObsSample {
+        let snap = queue.snapshot();
         ObsSample {
             run: self.run.clone(),
             t_ns: self.tracer.now_ns(),
-            queue_depth: queue.depth() as u64,
-            submitted: counters.submitted,
-            shed: counters.shed,
+            queue_depth: snap.depth,
+            submitted: snap.counters.submitted,
+            shed: snap.counters.shed,
+            shards: snap.shards,
             completed: self.registry.value("tx_completed").unwrap_or(0),
             window: self.window.summary(),
             counters: self.registry.snapshot().samples,
@@ -146,6 +150,9 @@ pub(crate) mod metric {
     pub const ORPHAN_OPS: &str = "orphan_ops";
     /// Live heap bytes at the last published snapshot (gauge).
     pub const HEAP_BYTES: &str = "heap_bytes";
+    /// Transactions obtained by stealing from another worker's shard
+    /// (counter, charged to the thief's shard).
+    pub const TX_STOLEN: &str = "tx_stolen";
 }
 
 /// One row of the exported time series.
@@ -161,6 +168,9 @@ pub struct ObsSample {
     pub submitted: u64,
     /// Cumulative sheds at sampling time.
     pub shed: u64,
+    /// Per-shard depth, admission, and steal counters (empty with the
+    /// global queue).
+    pub shards: Vec<ShardSample>,
     /// Cumulative completions at sampling time.
     pub completed: u64,
     /// Latency quantiles over the sliding window (not since start).
@@ -253,7 +263,7 @@ impl Sampler {
     /// configured output. Returns the collected samples at stop.
     pub(crate) fn spawn(
         telemetry: Arc<ServerTelemetry>,
-        queue: Arc<TxQueue>,
+        queue: Arc<IngressQueue>,
         config: &ObsConfig,
     ) -> Self {
         let stop = Arc::new(AtomicBool::new(false));
@@ -309,6 +319,7 @@ pub(crate) struct WorkerMetrics {
     pub bytes_requested: webmm_obs::MetricHandle,
     pub orphan_ops: webmm_obs::MetricHandle,
     pub heap_bytes: webmm_obs::MetricHandle,
+    pub stolen: webmm_obs::MetricHandle,
 }
 
 impl WorkerMetrics {
@@ -319,6 +330,7 @@ impl WorkerMetrics {
             bytes_requested: reg.handle(metric::BYTES_REQUESTED, MetricKind::Counter, worker),
             orphan_ops: reg.handle(metric::ORPHAN_OPS, MetricKind::Gauge, worker),
             heap_bytes: reg.handle(metric::HEAP_BYTES, MetricKind::Gauge, worker),
+            stolen: reg.handle(metric::TX_STOLEN, MetricKind::Counter, worker),
         }
     }
 }

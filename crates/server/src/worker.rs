@@ -9,9 +9,10 @@
 //! per-object frees of the survivors otherwise — so transactions never
 //! leak state into each other and a worker can serve forever.
 
-use crate::queue::TxQueue;
+use crate::ingress::IngressQueue;
+use crate::shard::Fill;
 use crate::telemetry::{ServerTelemetry, WorkerMetrics};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::Instant;
 use webmm_alloc::{Allocator, AllocatorKind};
@@ -38,6 +39,9 @@ pub struct WorkerReport {
     /// Simulated instructions retired by this worker's port (allocator
     /// metadata work plus application compute).
     pub sim_instructions: u64,
+    /// Transactions this worker obtained by stealing from other workers'
+    /// shards (always 0 with the global queue; counted on the thief).
+    pub steals: u64,
 }
 
 /// Everything a worker thread owns. Constructing it *inside* the spawned
@@ -148,8 +152,15 @@ impl WorkerState {
     }
 }
 
-/// The worker thread body: pull transactions until the queue closes and
-/// drains, then hand back the report and the local latency histogram.
+/// The worker thread body: pull transaction batches until the queue
+/// closes and drains, then hand back the report and the local latency
+/// histogram.
+///
+/// Intake is batched: the worker refills a private `pending` buffer from
+/// its ingress (its own shard in one lock acquisition, or a steal from a
+/// victim shard when dry — one transaction per call with the global
+/// queue) and then serves the whole batch without touching any shared
+/// lock. Steals are counted on the thief's report.
 ///
 /// With telemetry attached, every completion also lands in the sliding
 /// latency window, the sharded metric registry, and the worker's span
@@ -160,7 +171,7 @@ pub(crate) fn run(
     worker: u64,
     kind: AllocatorKind,
     static_bytes: u64,
-    queue: Arc<TxQueue>,
+    queue: Arc<IngressQueue>,
     telemetry: Option<Arc<ServerTelemetry>>,
 ) -> (WorkerReport, LatencyHistogram) {
     let mut state = WorkerState::new(worker, kind, static_bytes);
@@ -169,7 +180,21 @@ pub(crate) fn run(
         .as_deref()
         .map(|t| WorkerMetrics::new(t, worker as usize));
     let mut last_publish: Option<Instant> = None;
-    while let Some(queued) = queue.pop() {
+    let mut pending: VecDeque<crate::queue::QueuedTx> = VecDeque::new();
+    'serve: loop {
+        while pending.is_empty() {
+            match queue.fill(worker as usize, &mut pending) {
+                Fill::Closed => break 'serve,
+                Fill::Own(_) => {}
+                Fill::Stolen(n) => {
+                    state.report.steals += n as u64;
+                    if let Some(m) = metrics.as_ref() {
+                        m.stolen.add(n as u64);
+                    }
+                }
+            }
+        }
+        let queued = pending.pop_front().expect("non-empty batch");
         let queue_wait = queued
             .enqueued
             .elapsed()

@@ -26,7 +26,7 @@ fn serve(kind: AllocatorKind) -> ServerReport {
         queue_capacity: 16,
         policy: AdmissionPolicy::Block,
         static_bytes: 1 << 20,
-        obs: None,
+        ..ServerConfig::default()
     });
     drive_closed(&server, TxFactory::new(phpbb(), 1024, SEED), TOTAL_TX, 2);
     server.finish()
@@ -101,7 +101,7 @@ fn overloaded_open_loop_still_accounts_every_tx() {
         queue_capacity: 4,
         policy: AdmissionPolicy::ShedOldest,
         static_bytes: 1 << 20,
-        obs: None,
+        ..ServerConfig::default()
     });
     drive_open(
         &server.ingress(),

@@ -26,6 +26,7 @@ fn serve(kind: AllocatorKind, obs: Option<ObsConfig>) -> (ServerReport, Vec<ObsS
         policy: AdmissionPolicy::Block,
         static_bytes: 1 << 20,
         obs,
+        ..ServerConfig::default()
     });
     drive_closed(&server, TxFactory::new(phpbb(), 1024, SEED), TOTAL_TX, 2);
     server.finish_with_obs()
@@ -111,6 +112,7 @@ fn tx_spans_cover_completions_and_sheds() {
         policy: AdmissionPolicy::Reject,
         static_bytes: 1 << 20,
         obs: Some(fast_obs()),
+        ..ServerConfig::default()
     });
     drive_closed(&server, TxFactory::new(phpbb(), 1024, SEED), 32, 8);
     let spans = server.dump_spans();

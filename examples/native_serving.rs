@@ -80,6 +80,7 @@ fn main() {
             policy: AdmissionPolicy::Block,
             static_bytes: 2 << 20,
             obs,
+            ..ServerConfig::default()
         });
         let factory = TxFactory::new(phpbb(), 1024, 42);
         drive_closed(&server, factory, total_tx, workers * 2);
