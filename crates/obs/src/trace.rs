@@ -123,6 +123,16 @@ impl TxTracer {
         self.epoch.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
     }
 
+    /// Converts an [`Instant`] the caller already holds onto the tracer's
+    /// clock — lets a hot loop that took one timestamp reuse it for span
+    /// recording instead of paying a second `Instant::now()`. Instants
+    /// from before the tracer's construction map to 0.
+    pub fn ns_of(&self, at: Instant) -> u64 {
+        at.saturating_duration_since(self.epoch)
+            .as_nanos()
+            .min(u128::from(u64::MAX)) as u64
+    }
+
     /// The `worker` field stamped on shed spans.
     pub fn shed_lane(&self) -> u64 {
         self.workers as u64

@@ -57,6 +57,13 @@ impl IngressQueue {
         }
     }
 
+    pub(crate) fn install_pool(&mut self, pool: Arc<crate::pool::TxBufferPool>) {
+        match self {
+            IngressQueue::Global(q) => q.install_pool(pool),
+            IngressQueue::Sharded(q) => q.install_pool(pool),
+        }
+    }
+
     pub(crate) fn submit(&self, tx: Transaction) -> Admission {
         match self {
             IngressQueue::Global(q) => q.submit(tx),

@@ -24,6 +24,11 @@
 //!   boundary;
 //! * [`TxFactory`] + [`drive_closed`] / [`drive_open`] — deterministic
 //!   transaction production under closed- or open-loop arrival models;
+//! * [`TxBufferPool`] — transaction op buffers recycled from completed
+//!   (or shed) transactions back to the load generators, so the
+//!   steady-state serving path performs no heap allocation per
+//!   transaction (see [`TxExecutor`] for the hash-free object table and
+//!   `tests/alloc_audit.rs` for the proof);
 //! * [`LatencyHistogram`] — log2-bucketed admission-to-completion
 //!   latencies with p50/p95/p99/p999 (shared with `webmm-obs`, which is
 //!   also where the live sliding-window variant lives);
@@ -56,6 +61,7 @@
 
 mod ingress;
 mod loadgen;
+mod pool;
 mod queue;
 mod server;
 mod shard;
@@ -63,6 +69,7 @@ mod telemetry;
 mod worker;
 
 pub use loadgen::{drive_closed, drive_open, TxFactory};
+pub use pool::{PoolStats, TxBufferPool};
 pub use queue::{Admission, AdmissionPolicy, QueueCounters, QueueMode, QueueSnapshot, TxQueue};
 pub use server::{Ingress, Server, ServerConfig, ServerReport};
 pub use shard::ShardedTxQueue;
@@ -70,7 +77,7 @@ pub use telemetry::{render_dashboard, ObsConfig, ObsSample, ServerTelemetry, Wor
 // The histogram is defined in `webmm-obs` so live windows and final
 // reports share one implementation; re-exported here for compatibility.
 pub use webmm_obs::{LatencyHistogram, LatencySummary, ShardSample, TxSpan};
-pub use worker::WorkerReport;
+pub use worker::{TxExecutor, WorkerReport};
 
 use webmm_workload::WorkOp;
 

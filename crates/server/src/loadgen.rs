@@ -13,10 +13,11 @@
 //!   `Reject`/`ShedOldest` to study overload; with `Block` the schedule
 //!   degrades into a closed loop whenever the queue fills.
 
+use crate::pool::TxBufferPool;
 use crate::server::{Ingress, Server};
 use crate::Transaction;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use webmm_workload::{TxStream, WorkOp, WorkloadSpec};
 
@@ -24,6 +25,10 @@ use webmm_workload::{TxStream, WorkOp, WorkloadSpec};
 pub struct TxFactory {
     stream: TxStream,
     next_id: u64,
+    /// When attached, op buffers are drawn from the server's recycling
+    /// pool instead of freshly allocated — completed transactions feed
+    /// the generator and the steady state stops allocating.
+    pool: Option<Arc<TxBufferPool>>,
 }
 
 impl TxFactory {
@@ -38,12 +43,24 @@ impl TxFactory {
         TxFactory {
             stream: TxStream::new(spec, scale, seed),
             next_id: 0,
+            pool: None,
         }
     }
 
-    /// The next whole transaction: ops up to and including `EndTx`.
+    /// Draws future op buffers from `pool`. The drivers ([`drive_closed`],
+    /// [`drive_open`]) attach the server's pool automatically; call this
+    /// directly only when submitting by hand.
+    pub fn attach_pool(&mut self, pool: Arc<TxBufferPool>) {
+        self.pool = Some(pool);
+    }
+
+    /// The next whole transaction: ops up to and including `EndTx`, in a
+    /// recycled buffer when a pool is attached and has one.
     pub fn next_tx(&mut self) -> Transaction {
-        let mut ops = Vec::new();
+        let mut ops = match &self.pool {
+            Some(pool) => pool.get(),
+            None => Vec::new(),
+        };
         loop {
             let op = self.stream.next_op();
             ops.push(op);
@@ -65,8 +82,9 @@ impl TxFactory {
 /// # Panics
 ///
 /// Panics if `clients` is zero.
-pub fn drive_closed(server: &Server, factory: TxFactory, total_tx: u64, clients: usize) {
+pub fn drive_closed(server: &Server, mut factory: TxFactory, total_tx: u64, clients: usize) {
     assert!(clients > 0, "closed loop needs at least one client");
+    factory.attach_pool(server.buffer_pool());
     let factory = Mutex::new(factory);
     let remaining = AtomicU64::new(total_tx);
     std::thread::scope(|scope| {
@@ -95,6 +113,7 @@ pub fn drive_closed(server: &Server, factory: TxFactory, total_tx: u64, clients:
 /// Panics if `rate_tx_per_sec` is not positive.
 pub fn drive_open(ingress: &Ingress, mut factory: TxFactory, total_tx: u64, rate_tx_per_sec: f64) {
     assert!(rate_tx_per_sec > 0.0, "open loop needs a positive rate");
+    factory.attach_pool(ingress.pool());
     let interval = Duration::from_secs_f64(1.0 / rate_tx_per_sec);
     let start = Instant::now();
     for i in 0..total_tx {

@@ -1,0 +1,212 @@
+//! Transaction op-buffer recycling: completed workers feed the load
+//! generators.
+//!
+//! Every transaction used to cost one fresh `Vec<WorkOp>` heap
+//! allocation at the generator and one deallocation wherever the
+//! transaction died (worker completion, shed, rejection) — malloc/free
+//! traffic *around* the allocator under test, exactly the per-transaction
+//! bookkeeping tax the paper says dominates short web transactions.
+//! [`TxBufferPool`] closes the loop: finished op buffers return, cleared,
+//! to a sharded free stack, and [`TxFactory`](crate::TxFactory) refills
+//! recycled buffers instead of allocating.
+//!
+//! Design points:
+//!
+//! * **Sharded return channel.** One `Mutex<Vec<_>>` stack per worker
+//!   shard; workers return to their own shard, generators pop round-robin
+//!   — the same contention cure as the sharded ingress queue, and the
+//!   locks are held for a push/pop only.
+//! * **Ownership hand-off, no aliasing.** A buffer is always *moved*:
+//!   generator → queue → worker → pool → generator. Rust's move semantics
+//!   make aliasing a recycled buffer with a live transaction impossible;
+//!   the pool additionally clears every buffer on return so a recycled
+//!   buffer can never leak a previous transaction's ops.
+//! * **Bounded retention.** A shard past its cap drops the buffer instead
+//!   of stacking it, so a burst cannot pin memory forever. Every
+//!   get/return outcome is counted ([`PoolStats`]), which is how tests
+//!   prove recycling actually happens and accounting stays exact.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use webmm_workload::WorkOp;
+
+/// Monotonic counters describing pool traffic, serialized into the
+/// [`ServerReport`](crate::ServerReport).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct PoolStats {
+    /// `get` calls satisfied by a recycled buffer.
+    pub recycled: u64,
+    /// `get` calls that had to allocate a fresh buffer (empty pool).
+    pub fresh: u64,
+    /// Buffers returned to the pool (completed, shed, or rejected
+    /// transactions).
+    pub returned: u64,
+    /// Returned buffers dropped because their shard was at capacity.
+    pub dropped: u64,
+}
+
+/// Sharded free stack of cleared `Vec<WorkOp>` op buffers.
+pub struct TxBufferPool {
+    shards: Vec<Mutex<Vec<Vec<WorkOp>>>>,
+    max_per_shard: usize,
+    /// Round-robin cursors so generators and workers spread over shards.
+    get_cursor: AtomicUsize,
+    put_cursor: AtomicUsize,
+    recycled: AtomicU64,
+    fresh: AtomicU64,
+    returned: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl TxBufferPool {
+    /// Creates a pool of `shards` stacks retaining at most
+    /// `max_per_shard` buffers each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn new(shards: usize, max_per_shard: usize) -> Self {
+        assert!(shards > 0, "buffer pool needs at least one shard");
+        TxBufferPool {
+            shards: (0..shards)
+                .map(|_| Mutex::new(Vec::with_capacity(max_per_shard.min(64))))
+                .collect(),
+            max_per_shard: max_per_shard.max(1),
+            get_cursor: AtomicUsize::new(0),
+            put_cursor: AtomicUsize::new(0),
+            recycled: AtomicU64::new(0),
+            fresh: AtomicU64::new(0),
+            returned: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Takes a cleared op buffer: a recycled one if any shard has one,
+    /// a fresh empty `Vec` otherwise.
+    pub fn get(&self) -> Vec<WorkOp> {
+        let n = self.shards.len();
+        // With one shard the cursor is pointless; skip the atomic.
+        let start = if n == 1 {
+            0
+        } else {
+            self.get_cursor.fetch_add(1, Ordering::Relaxed)
+        };
+        for off in 0..n {
+            let shard = &self.shards[(start + off) % n];
+            if let Some(buf) = shard.lock().expect("pool shard lock").pop() {
+                debug_assert!(buf.is_empty(), "pooled buffers are stored cleared");
+                self.recycled.fetch_add(1, Ordering::Relaxed);
+                return buf;
+            }
+        }
+        self.fresh.fetch_add(1, Ordering::Relaxed);
+        Vec::new()
+    }
+
+    /// Returns a finished buffer: clears it and stacks it on the next
+    /// shard in round-robin order, dropping it if that shard is at
+    /// capacity.
+    pub fn put(&self, mut buf: Vec<WorkOp>) {
+        if buf.capacity() == 0 {
+            // Nothing worth recycling (e.g. a hand-built empty tx).
+            return;
+        }
+        buf.clear();
+        let n = self.shards.len();
+        let at = if n == 1 {
+            0
+        } else {
+            self.put_cursor.fetch_add(1, Ordering::Relaxed) % n
+        };
+        let shard = &self.shards[at];
+        let mut stack = shard.lock().expect("pool shard lock");
+        if stack.len() < self.max_per_shard {
+            stack.push(buf);
+            drop(stack);
+            self.returned.fetch_add(1, Ordering::Relaxed);
+        } else {
+            drop(stack);
+            self.returned.fetch_add(1, Ordering::Relaxed);
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Buffers currently stacked across all shards.
+    pub fn available(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("pool shard lock").len())
+            .sum()
+    }
+
+    /// Snapshot of the traffic counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            recycled: self.recycled.load(Ordering::Relaxed),
+            fresh: self.fresh.load(Ordering::Relaxed),
+            returned: self.returned.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_from_empty_pool_is_fresh() {
+        let pool = TxBufferPool::new(2, 4);
+        let buf = pool.get();
+        assert!(buf.is_empty());
+        let s = pool.stats();
+        assert_eq!((s.fresh, s.recycled), (1, 0));
+    }
+
+    #[test]
+    fn returned_buffers_come_back_cleared_with_capacity() {
+        let pool = TxBufferPool::new(1, 4);
+        let mut buf = Vec::with_capacity(32);
+        buf.push(WorkOp::EndTx);
+        pool.put(buf);
+        let back = pool.get();
+        assert!(back.is_empty(), "recycled buffer must arrive cleared");
+        assert!(back.capacity() >= 32, "capacity is what recycling saves");
+        let s = pool.stats();
+        assert_eq!((s.recycled, s.fresh, s.returned), (1, 0, 1));
+    }
+
+    #[test]
+    fn capacity_zero_buffers_are_not_pooled() {
+        let pool = TxBufferPool::new(1, 4);
+        pool.put(Vec::new());
+        assert_eq!(pool.available(), 0);
+        assert_eq!(pool.stats().returned, 0);
+    }
+
+    #[test]
+    fn shard_cap_drops_excess() {
+        let pool = TxBufferPool::new(1, 2);
+        for _ in 0..5 {
+            pool.put(Vec::with_capacity(8));
+        }
+        assert_eq!(pool.available(), 2);
+        let s = pool.stats();
+        assert_eq!(s.returned, 5);
+        assert_eq!(s.dropped, 3);
+    }
+
+    #[test]
+    fn round_robin_spreads_and_finds_buffers_on_any_shard() {
+        let pool = TxBufferPool::new(4, 8);
+        for _ in 0..4 {
+            pool.put(Vec::with_capacity(8));
+        }
+        // Every get must find one of them regardless of cursor position.
+        for _ in 0..4 {
+            assert!(pool.get().capacity() >= 8);
+        }
+        assert_eq!(pool.stats().recycled, 4);
+        assert_eq!(pool.available(), 0);
+    }
+}

@@ -11,6 +11,7 @@
 //! Every admission outcome is counted, so the server can prove the
 //! accounting identity `submitted == completed + shed` after drain.
 
+use crate::pool::TxBufferPool;
 use crate::telemetry::ServerTelemetry;
 use crate::Transaction;
 use std::collections::VecDeque;
@@ -155,6 +156,15 @@ pub(crate) fn trace_shed(
     }
 }
 
+/// Returns a dead transaction's op buffer to `pool` (no-op without one).
+/// Called wherever admission control kills a transaction — rejections and
+/// shed-oldest victims — so those paths recycle exactly like completions.
+pub(crate) fn recycle(pool: &Option<Arc<TxBufferPool>>, tx: Transaction) {
+    if let Some(p) = pool {
+        p.put(tx.ops);
+    }
+}
+
 struct QueueState {
     buf: VecDeque<QueuedTx>,
     closed: bool,
@@ -173,6 +183,9 @@ pub struct TxQueue {
     /// When present, shed transactions leave spans in the tracer's shed
     /// lane (sheds happen on submitter threads, not worker threads).
     telemetry: Option<Arc<ServerTelemetry>>,
+    /// When present, rejected and shed transactions return their op
+    /// buffers here instead of dropping them.
+    pool: Option<Arc<TxBufferPool>>,
 }
 
 impl TxQueue {
@@ -194,6 +207,7 @@ impl TxQueue {
             capacity,
             policy,
             telemetry: None,
+            pool: None,
         }
     }
 
@@ -201,6 +215,12 @@ impl TxQueue {
     /// before the queue is shared.
     pub(crate) fn install_telemetry(&mut self, telemetry: Arc<ServerTelemetry>) {
         self.telemetry = Some(telemetry);
+    }
+
+    /// Routes dead transactions' op buffers into `pool`. Called by the
+    /// server before the queue is shared.
+    pub(crate) fn install_pool(&mut self, pool: Arc<TxBufferPool>) {
+        self.pool = Some(pool);
     }
 
     /// Records a shed span for transaction `tx_id`. `queued_for` is how
@@ -231,6 +251,7 @@ impl TxQueue {
             st.counters.shed += 1;
             drop(st);
             self.trace_shed(tx.id, None);
+            recycle(&self.pool, tx);
             return Admission::Rejected;
         }
         if st.buf.len() >= self.capacity {
@@ -243,6 +264,7 @@ impl TxQueue {
                         st.counters.shed += 1;
                         drop(st);
                         self.trace_shed(tx.id, None);
+                        recycle(&self.pool, tx);
                         return Admission::Rejected;
                     }
                 }
@@ -250,6 +272,7 @@ impl TxQueue {
                     st.counters.shed += 1;
                     drop(st);
                     self.trace_shed(tx.id, None);
+                    recycle(&self.pool, tx);
                     return Admission::Rejected;
                 }
                 AdmissionPolicy::ShedOldest => {
@@ -263,6 +286,7 @@ impl TxQueue {
                     drop(st);
                     if let Some(v) = victim {
                         self.trace_shed(v.tx.id, Some(v.enqueued.elapsed()));
+                        recycle(&self.pool, v.tx);
                     }
                     return Admission::AcceptedSheddingOldest;
                 }

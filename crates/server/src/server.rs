@@ -9,6 +9,7 @@
 //! `submitted == completed + shed` is checked before it is returned.
 
 use crate::ingress::IngressQueue;
+use crate::pool::{PoolStats, TxBufferPool};
 use crate::queue::{Admission, AdmissionPolicy, QueueMode};
 use crate::telemetry::{ObsConfig, ObsSample, Sampler, ServerTelemetry};
 use crate::worker::{self, WorkerReport};
@@ -61,6 +62,7 @@ impl Default for ServerConfig {
 /// A running pool of allocator workers behind a bounded queue.
 pub struct Server {
     queue: Arc<IngressQueue>,
+    pool: Arc<TxBufferPool>,
     handles: Vec<JoinHandle<(WorkerReport, LatencyHistogram)>>,
     kind: AllocatorKind,
     started: Instant,
@@ -90,16 +92,28 @@ impl Server {
         if let Some(t) = &telemetry {
             queue.install_telemetry(Arc::clone(t));
         }
+        // One pool shard per worker; retention sized so that every buffer
+        // that can be in flight at once (the queue's backlog plus one
+        // drained batch per worker, plus slack for buffers in generator
+        // hands) fits without drops in steady state.
+        let pool = Arc::new(TxBufferPool::new(
+            config.workers,
+            config.queue_capacity.div_ceil(config.workers) + config.batch + 8,
+        ));
+        queue.install_pool(Arc::clone(&pool));
         let queue = Arc::new(queue);
         let handles = (0..config.workers)
             .map(|w| {
                 let queue = Arc::clone(&queue);
+                let pool = Arc::clone(&pool);
                 let kind = config.kind;
                 let static_bytes = config.static_bytes;
                 let telemetry = telemetry.clone();
                 std::thread::Builder::new()
                     .name(format!("webmm-worker-{w}"))
-                    .spawn(move || worker::run(w as u64, kind, static_bytes, queue, telemetry))
+                    .spawn(move || {
+                        worker::run(w as u64, kind, static_bytes, queue, pool, telemetry)
+                    })
                     .expect("spawn worker thread")
             })
             .collect();
@@ -109,12 +123,22 @@ impl Server {
         };
         Server {
             queue,
+            pool,
             handles,
             kind: config.kind,
             started: Instant::now(),
             telemetry,
             sampler,
         }
+    }
+
+    /// The transaction-buffer pool completed workers recycle into. Load
+    /// generators draw from it so steady-state transactions reuse op
+    /// buffers instead of allocating; [`TxFactory`](crate::TxFactory)
+    /// attaches to it automatically via [`drive_closed`](crate::drive_closed)
+    /// / [`drive_open`](crate::drive_open).
+    pub fn buffer_pool(&self) -> Arc<TxBufferPool> {
+        Arc::clone(&self.pool)
     }
 
     /// Offers one transaction to the ingress queue.
@@ -131,7 +155,10 @@ impl Server {
 
     /// A cloneable submission handle for client threads.
     pub fn ingress(&self) -> Ingress {
-        Ingress(Arc::clone(&self.queue))
+        Ingress {
+            queue: Arc::clone(&self.queue),
+            pool: Arc::clone(&self.pool),
+        }
     }
 
     /// Transactions currently queued (gauge).
@@ -196,6 +223,7 @@ impl Server {
             counters.shed,
         );
         let secs = wall_ns as f64 / 1e9;
+        let pool = self.pool.stats();
         let report = ServerReport {
             allocator: self.kind.id().to_string(),
             workers: per_worker.len() as u64,
@@ -214,6 +242,7 @@ impl Server {
                 0.0
             },
             latency: latencies.summary(),
+            pool,
             per_worker,
         };
         (report, samples)
@@ -222,18 +251,26 @@ impl Server {
 
 /// Cloneable handle submitting transactions to a running [`Server`].
 #[derive(Clone)]
-pub struct Ingress(Arc<IngressQueue>);
+pub struct Ingress {
+    queue: Arc<IngressQueue>,
+    pool: Arc<TxBufferPool>,
+}
 
 impl Ingress {
     /// Offers one transaction to the ingress queue.
     pub fn submit(&self, tx: Transaction) -> Admission {
-        self.0.submit(tx)
+        self.queue.submit(tx)
     }
 
     /// Offers one transaction pinned to the shard `key` hashes to (see
     /// [`Server::submit_affinity`]).
     pub fn submit_affinity(&self, key: u64, tx: Transaction) -> Admission {
-        self.0.submit_affinity(key, tx)
+        self.queue.submit_affinity(key, tx)
+    }
+
+    /// The server's transaction-buffer pool (see [`Server::buffer_pool`]).
+    pub fn pool(&self) -> Arc<TxBufferPool> {
+        Arc::clone(&self.pool)
     }
 }
 
@@ -268,6 +305,8 @@ pub struct ServerReport {
     pub tx_per_sec: f64,
     /// Service latency quantiles (admission to completion).
     pub latency: LatencySummary,
+    /// Transaction-buffer pool traffic (recycled vs fresh buffers).
+    pub pool: PoolStats,
     /// Per-worker counters.
     pub per_worker: Vec<WorkerReport>,
 }

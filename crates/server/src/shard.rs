@@ -34,8 +34,9 @@
 //! of submits, steals, and sheds (stress-tested in
 //! `tests/sharded.rs`).
 
+use crate::pool::TxBufferPool;
 use crate::queue::{
-    trace_shed, Admission, AdmissionPolicy, QueueCounters, QueueSnapshot, QueuedTx,
+    recycle, trace_shed, Admission, AdmissionPolicy, QueueCounters, QueueSnapshot, QueuedTx,
 };
 use crate::telemetry::ServerTelemetry;
 use crate::Transaction;
@@ -104,6 +105,9 @@ pub struct ShardedTxQueue {
     /// Round-robin submission cursor.
     rr: AtomicUsize,
     telemetry: Option<Arc<ServerTelemetry>>,
+    /// When present, rejected and shed transactions return their op
+    /// buffers here instead of dropping them.
+    pool: Option<Arc<TxBufferPool>>,
 }
 
 impl ShardedTxQueue {
@@ -128,6 +132,7 @@ impl ShardedTxQueue {
             closed: AtomicBool::new(false),
             rr: AtomicUsize::new(0),
             telemetry: None,
+            pool: None,
         }
     }
 
@@ -135,6 +140,12 @@ impl ShardedTxQueue {
     /// before the queue is shared.
     pub(crate) fn install_telemetry(&mut self, telemetry: Arc<ServerTelemetry>) {
         self.telemetry = Some(telemetry);
+    }
+
+    /// Routes dead transactions' op buffers into `pool`. Called by the
+    /// server before the queue is shared.
+    pub(crate) fn install_pool(&mut self, pool: Arc<TxBufferPool>) {
+        self.pool = Some(pool);
     }
 
     /// The configured admission policy.
@@ -187,6 +198,7 @@ impl ShardedTxQueue {
             st.counters.shed += 1;
             drop(st);
             trace_shed(&self.telemetry, tx.id, None);
+            recycle(&self.pool, tx);
             return Admission::Rejected;
         }
         if st.buf.len() >= self.shard_capacity {
@@ -201,6 +213,7 @@ impl ShardedTxQueue {
                         st.counters.shed += 1;
                         drop(st);
                         trace_shed(&self.telemetry, tx.id, None);
+                        recycle(&self.pool, tx);
                         return Admission::Rejected;
                     }
                 }
@@ -208,6 +221,7 @@ impl ShardedTxQueue {
                     st.counters.shed += 1;
                     drop(st);
                     trace_shed(&self.telemetry, tx.id, None);
+                    recycle(&self.pool, tx);
                     return Admission::Rejected;
                 }
                 AdmissionPolicy::ShedOldest => {
@@ -221,6 +235,7 @@ impl ShardedTxQueue {
                     drop(st);
                     if let Some(v) = victim {
                         trace_shed(&self.telemetry, v.tx.id, Some(v.enqueued.elapsed()));
+                        recycle(&self.pool, v.tx);
                     }
                     return Admission::AcceptedSheddingOldest;
                 }

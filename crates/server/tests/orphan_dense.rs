@@ -1,0 +1,123 @@
+//! Regression: the dense generation-stamped object table counts orphan
+//! ops *identically* to the `HashMap` it replaced.
+//!
+//! Orphan ops — frees, reallocs, and touches naming an object the worker
+//! never allocated (or that expired at a transaction boundary) — are the
+//! paper's cross-transaction lifetime signal, and the workload's
+//! open-lifetime rails produce them on purpose. The dense table detects
+//! them by an id+generation mismatch instead of hash-map absence; this
+//! test replays identical transaction sequences through a [`TxExecutor`]
+//! and through a literal `HashMap` reference model and demands the same
+//! orphan count op for op, both single-worker and with transactions
+//! round-robined over several workers (which turns *more* cross-
+//! transaction references into orphans, since the allocating worker
+//! differs from the freeing one).
+
+use std::collections::HashMap;
+use webmm_alloc::AllocatorKind;
+use webmm_server::{TxExecutor, TxFactory};
+use webmm_workload::{rails, WorkOp};
+
+/// The pre-rework semantics, verbatim: a `HashMap` of live ids cleared at
+/// every `EndTx`; any op naming an absent id is an orphan.
+#[derive(Default)]
+struct ReferenceWorker {
+    live: HashMap<u64, ()>,
+    orphans: u64,
+}
+
+impl ReferenceWorker {
+    fn execute(&mut self, ops: &[WorkOp]) {
+        for op in ops {
+            match *op {
+                WorkOp::Malloc { id, .. } => {
+                    self.live.insert(id, ());
+                }
+                WorkOp::Free { id } => {
+                    if self.live.remove(&id).is_none() {
+                        self.orphans += 1;
+                    }
+                }
+                WorkOp::Realloc { id, .. } | WorkOp::Touch { id, .. } => {
+                    if !self.live.contains_key(&id) {
+                        self.orphans += 1;
+                    }
+                }
+                WorkOp::EndTx => self.live.clear(),
+                WorkOp::Compute { .. } | WorkOp::StaticTouch { .. } => {}
+            }
+        }
+    }
+}
+
+fn generate(txs: u64, seed: u64) -> Vec<Vec<WorkOp>> {
+    // Rails is the paper's open-lifetime workload: ~6% of per-object-freed
+    // objects outlive their transaction, so their eventual frees (and the
+    // touches leading up to them) land after the boundary cleanup — the
+    // orphan source this test needs.
+    let mut factory = TxFactory::new(rails(), 1024, seed);
+    (0..txs).map(|_| factory.next_tx().ops).collect()
+}
+
+/// Replays `txs` round-robin over `workers` dense-table executors and
+/// `workers` reference workers; returns (dense orphans, reference
+/// orphans) summed over workers.
+fn replay(txs: &[Vec<WorkOp>], workers: usize, kind: AllocatorKind) -> (u64, u64) {
+    let mut dense: Vec<TxExecutor> = (0..workers)
+        .map(|w| TxExecutor::new(w as u64, kind, 1 << 20))
+        .collect();
+    let mut reference: Vec<ReferenceWorker> =
+        (0..workers).map(|_| ReferenceWorker::default()).collect();
+    for (i, ops) in txs.iter().enumerate() {
+        dense[i % workers].execute(ops);
+        reference[i % workers].execute(ops);
+    }
+    (
+        dense.iter().map(|e| e.report().orphan_ops).sum(),
+        reference.iter().map(|r| r.orphans).sum(),
+    )
+}
+
+#[test]
+fn single_worker_orphans_match_hashmap_reference() {
+    let txs = generate(300, 11);
+    for kind in AllocatorKind::PHP_STUDY {
+        let (dense, reference) = replay(&txs, 1, kind);
+        assert_eq!(
+            dense, reference,
+            "{kind}: dense table must count exactly the orphans the map did"
+        );
+        assert!(
+            dense > 0,
+            "{kind}: open-lifetime rails must actually produce orphans \
+             (vacuous comparison otherwise)"
+        );
+    }
+}
+
+#[test]
+fn multi_worker_round_robin_orphans_match() {
+    // Spreading transactions over workers makes cross-transaction
+    // references cross-*worker* references: strictly more orphans, and
+    // the counts must still agree exactly.
+    let txs = generate(300, 23);
+    let (dense_1, reference_1) = replay(&txs, 1, AllocatorKind::DdMalloc);
+    let (dense_3, reference_3) = replay(&txs, 3, AllocatorKind::DdMalloc);
+    assert_eq!(dense_3, reference_3);
+    assert_eq!(dense_1, reference_1);
+    assert!(
+        dense_3 >= dense_1,
+        "splitting lifetimes across workers cannot reduce orphans \
+         ({dense_3} @ 3 workers vs {dense_1} @ 1)"
+    );
+}
+
+#[test]
+fn orphan_counts_are_seed_stable_across_table_growth() {
+    // A table that grew (collision rehash) must not change detection:
+    // replay the same sequence into an executor whose table starts tiny
+    // (forced growth) — counts must match the reference regardless.
+    let txs = generate(200, 31);
+    let (dense, reference) = replay(&txs, 2, AllocatorKind::Region);
+    assert_eq!(dense, reference);
+}

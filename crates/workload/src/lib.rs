@@ -33,11 +33,13 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod objtable;
 mod sizes;
 mod spec;
 mod stream;
 pub mod trace;
 
+pub use objtable::ObjectTable;
 pub use sizes::SizeSampler;
 pub use spec::{
     by_name, cakephp, ez_publish, mediawiki_read, mediawiki_rw, php_workloads, phpbb, rails,

@@ -1,0 +1,314 @@
+//! Dense, generation-stamped object tables.
+//!
+//! The transaction hot path — the worker mapping workload object ids to
+//! heap addresses, and [`TxStream`](crate::TxStream) tracking which
+//! objects are still live — originally used `HashMap<u64, _>`. That pays
+//! a SipHash round and a probe sequence on *every* malloc, free, realloc
+//! and touch, and `clear()` walks every bucket at every transaction
+//! boundary. But workload ids are not adversarial: they are handed out by
+//! a monotonic counter, so the ids live at any instant occupy a narrow,
+//! dense band of the id space. [`ObjectTable`] exploits that:
+//!
+//! * slots live in a power-of-two ring indexed by `id & mask` — no
+//!   hashing, one load to find the slot;
+//! * each slot is stamped with the id it holds and the table's current
+//!   **generation**; a lookup is valid only if both match, so stale slots
+//!   need never be wiped;
+//! * [`ObjectTable::clear`] bumps the generation instead of touching any
+//!   slot — the per-transaction `freeAll` analogue is O(1);
+//! * orphan detection stays exact: an id the table never admitted (or
+//!   admitted in a previous generation) misses on the id/generation
+//!   check exactly where the `HashMap` would miss on absence.
+//!
+//! Two live ids that collide in the ring (possible only when the live id
+//! *span* exceeds the capacity — monotonic ids in a contiguous band never
+//! collide below that) trigger a grow-and-rehash, so correctness never
+//! depends on the caller sizing the table right; sizing only buys
+//! avoiding the one-time growth.
+
+/// A slot of the ring: the id it holds, the generation it was written
+/// in, and the caller's payload.
+#[derive(Copy, Clone, Debug)]
+struct Slot<T> {
+    id: u64,
+    /// Slot is live iff this equals the table's current generation.
+    /// 0 is the "never written / removed" sentinel; table generations
+    /// start at 1 and only grow.
+    gen: u64,
+    value: T,
+}
+
+/// Growth cap: a live id span this sparse means ids are not coming from a
+/// monotonic workload counter, and the dense representation is the wrong
+/// tool — fail loudly instead of eating the address space.
+const MAX_CAPACITY: usize = 1 << 26;
+
+/// Dense id → value map for monotonically allocated object ids, with O(1)
+/// generation-bump clearing.
+///
+/// # Examples
+///
+/// ```
+/// use webmm_workload::ObjectTable;
+/// let mut t: ObjectTable<u64> = ObjectTable::with_capacity(64);
+/// t.insert(7, 700);
+/// assert_eq!(t.get(7), Some(700));
+/// t.clear(); // O(1): generation bump, no slot is touched
+/// assert_eq!(t.get(7), None);
+/// assert_eq!(t.remove(7), None, "cleared ids are gone, not orphaned");
+/// ```
+#[derive(Debug)]
+pub struct ObjectTable<T> {
+    slots: Vec<Slot<T>>,
+    mask: u64,
+    gen: u64,
+    live: usize,
+}
+
+impl<T: Copy + Default> ObjectTable<T> {
+    /// Creates a table able to hold a live id span of at least `capacity`
+    /// without growing (rounded up to a power of two, minimum 16).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let cap = capacity.max(16).next_power_of_two();
+        ObjectTable {
+            slots: vec![Slot::default(); cap],
+            mask: cap as u64 - 1,
+            gen: 1,
+            live: 0,
+        }
+    }
+
+    /// Current slot count (the live id span the table holds without
+    /// growing).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Live entries.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// `true` if no entry is live.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Inserts or replaces `id`, returning the previous value if `id` was
+    /// live. Grows (rehashing live entries) if a *different* live id
+    /// occupies the slot.
+    #[inline]
+    pub fn insert(&mut self, id: u64, value: T) -> Option<T> {
+        loop {
+            let slot = &mut self.slots[(id & self.mask) as usize];
+            if slot.gen != self.gen {
+                *slot = Slot {
+                    id,
+                    gen: self.gen,
+                    value,
+                };
+                self.live += 1;
+                return None;
+            }
+            if slot.id == id {
+                return Some(std::mem::replace(&mut slot.value, value));
+            }
+            self.grow();
+        }
+    }
+
+    /// The value stored for `id`, if live.
+    #[inline]
+    pub fn get(&self, id: u64) -> Option<T> {
+        let slot = &self.slots[(id & self.mask) as usize];
+        (slot.gen == self.gen && slot.id == id).then_some(slot.value)
+    }
+
+    /// `true` if `id` is live.
+    #[inline]
+    pub fn contains(&self, id: u64) -> bool {
+        let slot = &self.slots[(id & self.mask) as usize];
+        slot.gen == self.gen && slot.id == id
+    }
+
+    /// Removes `id`, returning its value if it was live.
+    #[inline]
+    pub fn remove(&mut self, id: u64) -> Option<T> {
+        let gen = self.gen;
+        let slot = &mut self.slots[(id & self.mask) as usize];
+        if slot.gen == gen && slot.id == id {
+            slot.gen = 0;
+            self.live -= 1;
+            Some(slot.value)
+        } else {
+            None
+        }
+    }
+
+    /// Empties the table in O(1) by bumping the generation: every live
+    /// slot silently expires. The `freeAll` analogue.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.gen += 1;
+        self.live = 0;
+    }
+
+    /// Calls `f(id, value)` for every live entry and empties the table.
+    /// Used for the survivor sweep of allocators without bulk free. Walks
+    /// the whole ring — O(capacity), which is proportional to the
+    /// transaction's own op count, and only taken on the no-`freeAll`
+    /// path.
+    pub fn drain(&mut self, mut f: impl FnMut(u64, T)) {
+        if self.live > 0 {
+            let gen = self.gen;
+            for slot in &mut self.slots {
+                if slot.gen == gen {
+                    slot.gen = 0;
+                    f(slot.id, slot.value);
+                }
+            }
+        }
+        self.clear();
+    }
+
+    /// Doubles capacity (repeatedly, if the live set still collides) and
+    /// rehashes live entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the live id span needs more than `MAX_CAPACITY` slots —
+    /// ids that sparse are not from a monotonic workload counter and a
+    /// dense table is the wrong structure for them.
+    #[cold]
+    fn grow(&mut self) {
+        let mut cap = self.slots.len() * 2;
+        'retry: loop {
+            assert!(
+                cap <= MAX_CAPACITY,
+                "ObjectTable: live id span too sparse for a dense table \
+                 (needs > {MAX_CAPACITY} slots for {} live ids)",
+                self.live
+            );
+            let mask = cap as u64 - 1;
+            let mut slots: Vec<Slot<T>> = vec![Slot::default(); cap];
+            for slot in &self.slots {
+                if slot.gen == self.gen {
+                    let dst = &mut slots[(slot.id & mask) as usize];
+                    if dst.gen == self.gen {
+                        cap *= 2;
+                        continue 'retry;
+                    }
+                    *dst = *slot;
+                }
+            }
+            self.slots = slots;
+            self.mask = mask;
+            return;
+        }
+    }
+}
+
+impl<T: Copy + Default> Default for Slot<T> {
+    fn default() -> Self {
+        Slot {
+            id: 0,
+            gen: 0,
+            value: T::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut t: ObjectTable<u64> = ObjectTable::with_capacity(32);
+        assert_eq!(t.insert(3, 30), None);
+        assert_eq!(t.insert(4, 40), None);
+        assert_eq!(t.get(3), Some(30));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.insert(3, 31), Some(30), "replace returns old value");
+        assert_eq!(t.len(), 2, "replace is not a second entry");
+        assert_eq!(t.remove(3), Some(31));
+        assert_eq!(t.remove(3), None, "double remove misses");
+        assert_eq!(t.get(3), None);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn clear_is_a_generation_bump() {
+        let mut t: ObjectTable<u64> = ObjectTable::with_capacity(16);
+        for id in 0..10 {
+            t.insert(id, id * 10);
+        }
+        t.clear();
+        assert!(t.is_empty());
+        for id in 0..10 {
+            assert_eq!(t.get(id), None, "cleared id {id} must miss");
+            assert_eq!(t.remove(id), None);
+        }
+        // Re-inserting the same slot indices in the new generation works.
+        t.insert(2, 99);
+        assert_eq!(t.get(2), Some(99));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn monotonic_ids_never_grow_below_capacity_span() {
+        let mut t: ObjectTable<u64> = ObjectTable::with_capacity(128);
+        // Many transactions of 100 dense ids each: the band slides up
+        // forever but the span stays under the capacity.
+        let mut id = 0u64;
+        for _ in 0..1000 {
+            for _ in 0..100 {
+                t.insert(id, id);
+                id += 1;
+            }
+            t.clear();
+        }
+        assert_eq!(t.capacity(), 128, "sliding dense band must not grow");
+    }
+
+    #[test]
+    fn colliding_live_ids_force_growth_not_corruption() {
+        let mut t: ObjectTable<u64> = ObjectTable::with_capacity(16);
+        // 5 and 5+16 collide at capacity 16.
+        t.insert(5, 50);
+        t.insert(5 + 16, 60);
+        assert_eq!(t.get(5), Some(50));
+        assert_eq!(t.get(5 + 16), Some(60));
+        assert!(t.capacity() > 16);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn drain_yields_every_live_entry_once() {
+        let mut t: ObjectTable<u64> = ObjectTable::with_capacity(32);
+        for id in [1u64, 7, 9, 20] {
+            t.insert(id, id + 100);
+        }
+        t.remove(9);
+        let mut seen = Vec::new();
+        t.drain(|id, v| seen.push((id, v)));
+        seen.sort_unstable();
+        assert_eq!(seen, vec![(1, 101), (7, 107), (20, 120)]);
+        assert!(t.is_empty());
+        let mut after = 0;
+        t.drain(|_, _| after += 1);
+        assert_eq!(after, 0, "second drain yields nothing");
+    }
+
+    #[test]
+    fn stale_generation_slot_is_reusable() {
+        let mut t: ObjectTable<u64> = ObjectTable::with_capacity(16);
+        t.insert(3, 1);
+        t.clear();
+        // id 19 maps to the slot id 3 occupied in the old generation.
+        t.insert(19, 2);
+        assert_eq!(t.get(19), Some(2));
+        assert_eq!(t.get(3), None);
+        assert_eq!(t.capacity(), 16, "dead slot reuse must not grow");
+    }
+}

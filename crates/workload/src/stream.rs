@@ -9,12 +9,13 @@
 //! free/malloc ratios; sizes come from the log-normal
 //! [`SizeSampler`](crate::SizeSampler).
 
+use crate::objtable::ObjectTable;
 use crate::sizes::SizeSampler;
 use crate::spec::WorkloadSpec;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::Serialize;
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// One operation of a transaction stream.
 ///
@@ -117,8 +118,10 @@ pub struct TxStream {
     deaths: BTreeMap<u64, Vec<u64>>,
     /// tick → objects touched (read) there.
     touches: BTreeMap<u64, Vec<u64>>,
-    /// Live objects and their current sizes.
-    live: HashMap<u64, u64>,
+    /// Live objects and their current sizes. Ids come from the monotonic
+    /// `next_id` counter, so the dense generation-stamped table replaces
+    /// the original `HashMap`: no hashing per op, O(1) clear at `EndTx`.
+    live: ObjectTable<u64>,
     /// Insertion-ordered ids for O(1)-ish random picks.
     live_order: Vec<u64>,
     queue: VecDeque<WorkOp>,
@@ -153,7 +156,10 @@ impl TxStream {
             ticks_into_tx: 0,
             deaths: BTreeMap::new(),
             touches: BTreeMap::new(),
-            live: HashMap::new(),
+            // Live ids span at most ~6 transactions (cross-tx lifetimes
+            // cap at 4 whole transactions plus an in-tx remainder), so
+            // 8× the per-tx tick count avoids ever growing.
+            live: ObjectTable::with_capacity((tx_ticks * 8) as usize),
             live_order: Vec::new(),
             queue: VecDeque::new(),
             stats: StreamStats::default(),
@@ -188,7 +194,7 @@ impl TxStream {
         while !self.live_order.is_empty() {
             let idx = self.rng.gen_range(0..self.live_order.len());
             let id = self.live_order[idx];
-            if self.live.contains_key(&id) {
+            if self.live.contains(id) {
                 return Some(id);
             }
             // Lazily drop stale entries (objects freed since insertion).
@@ -198,7 +204,7 @@ impl TxStream {
     }
 
     fn emit_free(&mut self, id: u64) {
-        if self.live.remove(&id).is_some() {
+        if self.live.remove(id).is_some() {
             // Objects are typically read one last time right before dying
             // (string consumed, array iterated, zval refcount dropped).
             self.queue.push_back(WorkOp::Touch { id, write: false });
@@ -231,7 +237,7 @@ impl TxStream {
         for t in due_touches {
             if let Some(ids) = self.touches.remove(&t) {
                 for id in ids {
-                    if self.live.contains_key(&id) {
+                    if self.live.contains(id) {
                         self.queue.push_back(WorkOp::Touch { id, write: false });
                     }
                 }
@@ -245,6 +251,7 @@ impl TxStream {
             self.stats.transactions += 1;
             if self.spec.bulk_free_at_end {
                 // freeAll kills everything: drop all pending lifetimes.
+                // The live table's clear is a generation bump — O(1).
                 self.deaths.clear();
                 self.touches.clear();
                 self.live.clear();
@@ -298,7 +305,7 @@ impl TxStream {
         // 5. Occasional realloc (growing a string/array).
         if self.ticks_into_tx % self.realloc_every == self.realloc_every - 1 {
             if let Some(rid) = self.pick_live() {
-                let old = self.live[&rid];
+                let old = self.live.get(rid).expect("picked id is live");
                 let new_size = (old + old / 2 + 8).min(32 * 1024);
                 self.live.insert(rid, new_size);
                 self.queue.push_back(WorkOp::Realloc { id: rid, new_size });
