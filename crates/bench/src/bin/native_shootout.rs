@@ -18,8 +18,14 @@
 //!     [--policy block|reject|shed-oldest] [--capacity 128] \
 //!     [--queue global|sharded|both] [--batch 32] \
 //!     [--out BENCH_native.json] \
-//!     [--obs-interval 10ms] [--obs-out OBS_native.jsonl]
+//!     [--obs-interval 10ms] [--obs-out OBS_native.jsonl] \
+//!     [--trace-in TRACE.jsonl]
 //! ```
+//!
+//! With `--trace-in`, every cell replays the given JSONL op trace
+//! (e.g. one recorded by `net_shootout --trace-out`) instead of
+//! generating ops, and the transaction count comes from the trace — the
+//! offline half of a network-vs-in-process A/B on identical operations.
 //!
 //! Writes every cell of the sweep to `BENCH_native.json` (allocator,
 //! workers, queue mode, tx_per_sec, steal counters, the host's available
@@ -77,6 +83,7 @@ struct Args {
     out: String,
     obs_interval: Option<Duration>,
     obs_out: Option<String>,
+    trace_in: Option<String>,
 }
 
 /// Parses `10ms`, `1s`, `250us`, `5000ns` (bare numbers: milliseconds).
@@ -117,6 +124,7 @@ fn parse_args() -> Args {
         out: "BENCH_native.json".to_string(),
         obs_interval: None,
         obs_out: None,
+        trace_in: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -165,13 +173,14 @@ fn parse_args() -> Args {
                 }));
             }
             "--obs-out" => args.obs_out = Some(value()),
+            "--trace-in" => args.trace_in = Some(value()),
             other => {
                 eprintln!("unknown flag `{other}`");
                 eprintln!(
                     "usage: native_shootout [--workers N,N,..] [--tx N] [--scale N] [--seed N] \
                      [--policy block|reject|shed-oldest] [--capacity N] \
                      [--queue global|sharded|both] [--batch N] [--out FILE] \
-                     [--obs-interval DUR] [--obs-out FILE]"
+                     [--obs-interval DUR] [--obs-out FILE] [--trace-in FILE]"
                 );
                 std::process::exit(2);
             }
@@ -189,12 +198,29 @@ fn main() {
     let parallelism = std::thread::available_parallelism()
         .map(|n| n.get() as u64)
         .unwrap_or(1);
+    // A replay trace overrides both the generator and the tx count:
+    // every cell must execute exactly the recorded operations.
+    let trace_ops = args.trace_in.as_ref().map(|path| {
+        let file = std::fs::File::open(path).unwrap_or_else(|e| {
+            eprintln!("cannot open --trace-in {path}: {e}");
+            std::process::exit(1);
+        });
+        webmm_workload::trace::read_trace(std::io::BufReader::new(file)).unwrap_or_else(|e| {
+            eprintln!("cannot parse --trace-in {path}: {e}");
+            std::process::exit(1);
+        })
+    });
+    let tx = trace_ops.as_ref().map_or(args.tx, |ops| {
+        webmm_workload::trace::count_transactions(ops)
+    });
+    let source = match &args.trace_in {
+        Some(path) => format!("replaying {path}"),
+        None => format!("phpBB, scale 1/{}", args.scale),
+    };
     print!(
         "{}",
         heading(&format!(
-            "Native shootout: phpBB, {} tx/cell, scale 1/{}, policy {}, host parallelism {}",
-            args.tx,
-            args.scale,
+            "Native shootout: {source}, {tx} tx/cell, policy {}, host parallelism {}",
             args.policy.id(),
             parallelism,
         ))
@@ -231,9 +257,12 @@ fn main() {
                     static_bytes: 2 << 20,
                     obs,
                 });
-                let factory = TxFactory::new(phpbb(), args.scale, args.seed);
+                let factory = match &trace_ops {
+                    Some(ops) => TxFactory::from_trace(ops.clone()),
+                    None => TxFactory::new(phpbb(), args.scale, args.seed),
+                };
                 let clients = (workers * 2).max(2);
-                drive_closed(&server, factory, args.tx, clients);
+                drive_closed(&server, factory, tx, clients);
                 let (report, samples) = server.finish_with_obs();
                 assert_eq!(
                     report.completed + report.shed,

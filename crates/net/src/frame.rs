@@ -1,0 +1,678 @@
+//! The wire protocol: compact length-prefixed binary frames.
+//!
+//! Every frame on the wire is a little-endian `u32` *body length*
+//! followed by exactly that many body bytes; the first body byte is a
+//! type tag. Requests carry a client-assigned `request_id` that the
+//! server echoes in the response, so a client can detect desync after a
+//! timeout or reconnect. Transaction payloads travel either as an
+//! explicit [`WorkOp`] sequence (fixed-width binary encoding, one tag
+//! byte plus LE fields per op) or as a compact `Count` body the server
+//! expands itself — the cheap way to generate pure admission-control
+//! load without shipping op streams.
+//!
+//! Decoding is **incremental and total**: [`Decoder::decode`] looks at
+//! the front of a byte buffer and returns `Ok(None)` ("need more
+//! bytes"), `Ok(Some((frame, consumed)))`, or a typed [`FrameError`] —
+//! never a panic, whatever the bytes. A complete body that runs out of
+//! bytes mid-field is *corrupt* (the length prefix delimits it), which
+//! is how truncation inside a frame is told apart from a partial read.
+//! Op counts are validated against the body length before any buffer is
+//! sized, so a hostile length field cannot force an allocation.
+//!
+//! When a [`TxBufferPool`] is attached, decoded op vectors are drawn
+//! from it — the network path joins the same recycled-buffer loop the
+//! in-process load generators use.
+
+use std::fmt;
+use std::sync::Arc;
+use webmm_server::{Admission, TxBufferPool};
+use webmm_workload::WorkOp;
+
+/// Bytes of the length prefix in front of every frame body.
+pub const HEADER_LEN: usize = 4;
+
+/// Default cap on one frame's body length.
+pub const DEFAULT_MAX_FRAME: usize = 1 << 20;
+
+/// Default cap on ops carried by one `Submit` frame.
+pub const DEFAULT_MAX_OPS: usize = 1 << 16;
+
+// Frame type tags. Requests have the high bit clear, responses set.
+const TAG_SUBMIT: u8 = 0x01;
+const TAG_PING: u8 = 0x02;
+const TAG_GOODBYE: u8 = 0x03;
+const TAG_STATUS: u8 = 0x81;
+const TAG_PONG: u8 = 0x82;
+
+// WorkOp tags.
+const OP_MALLOC: u8 = 0;
+const OP_FREE: u8 = 1;
+const OP_REALLOC: u8 = 2;
+const OP_TOUCH: u8 = 3;
+const OP_COMPUTE: u8 = 4;
+const OP_STATIC_TOUCH: u8 = 5;
+const OP_END_TX: u8 = 6;
+
+/// Protocol status code carried by a [`Frame::Status`] response — the
+/// admission outcomes of the ingress queue, plus the two refusals the
+/// network tier itself issues (`Draining`, `TooLarge`). `Rejected` and
+/// `Draining` are this protocol's HTTP-429/503 equivalents.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Status {
+    /// The transaction was admitted and will be served.
+    Accepted,
+    /// Admitted, displacing the oldest queued transaction
+    /// ([`Admission::AcceptedSheddingOldest`]).
+    AcceptedSheddingOldest,
+    /// Turned away by admission control (queue full under the reject
+    /// policy, or the ingress queue already closed).
+    Rejected,
+    /// The server is draining: the request was never offered to the
+    /// ingress queue and does not appear in its `submitted` count.
+    Draining,
+    /// The request's transaction exceeds the server's size limits and
+    /// was refused at the front door, before admission.
+    TooLarge,
+}
+
+impl Status {
+    /// The wire code.
+    #[must_use]
+    pub fn code(self) -> u8 {
+        match self {
+            Status::Accepted => 0,
+            Status::AcceptedSheddingOldest => 1,
+            Status::Rejected => 2,
+            Status::Draining => 3,
+            Status::TooLarge => 4,
+        }
+    }
+
+    /// Parses a wire code.
+    #[must_use]
+    pub fn from_code(code: u8) -> Option<Status> {
+        match code {
+            0 => Some(Status::Accepted),
+            1 => Some(Status::AcceptedSheddingOldest),
+            2 => Some(Status::Rejected),
+            3 => Some(Status::Draining),
+            4 => Some(Status::TooLarge),
+            _ => None,
+        }
+    }
+
+    /// Maps an ingress [`Admission`] outcome onto its wire status.
+    #[must_use]
+    pub fn from_admission(admission: Admission) -> Status {
+        match admission {
+            Admission::Accepted => Status::Accepted,
+            Admission::AcceptedSheddingOldest => Status::AcceptedSheddingOldest,
+            Admission::Rejected => Status::Rejected,
+        }
+    }
+}
+
+/// The transaction payload of a [`Frame::Submit`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TxBody {
+    /// `ops` allocations of `size` bytes each, expanded server-side
+    /// (each allocation is touched, and the transaction ends with the
+    /// usual `EndTx` bulk free).
+    Count {
+        /// Number of allocations.
+        ops: u32,
+        /// Bytes per allocation.
+        size: u32,
+    },
+    /// An explicit op sequence, executed verbatim.
+    Ops(Vec<WorkOp>),
+}
+
+impl TxBody {
+    /// Total heap bytes this body will request from a worker
+    /// (malloc plus realloc sizes) — the quantity the server's
+    /// `max_tx_bytes` limit is checked against.
+    #[must_use]
+    pub fn requested_bytes(&self) -> u64 {
+        match self {
+            TxBody::Count { ops, size } => u64::from(*ops) * u64::from(*size),
+            TxBody::Ops(ops) => ops
+                .iter()
+                .map(|op| match *op {
+                    WorkOp::Malloc { size, .. } => size,
+                    WorkOp::Realloc { new_size, .. } => new_size,
+                    _ => 0,
+                })
+                .sum(),
+        }
+    }
+}
+
+/// One protocol frame, either direction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Frame {
+    /// Client → server: offer one transaction.
+    Submit {
+        /// Client-assigned id echoed by the response.
+        request_id: u64,
+        /// Optional affinity key: transactions with the same key land on
+        /// the same ingress shard (same worker heap).
+        affinity: Option<u64>,
+        /// The transaction payload.
+        body: TxBody,
+    },
+    /// Client → server: keep-alive / health probe.
+    Ping,
+    /// Client → server: clean close announcement.
+    Goodbye,
+    /// Server → client: admission outcome for `request_id`.
+    Status {
+        /// Echo of the request's id.
+        request_id: u64,
+        /// Admission outcome.
+        status: Status,
+    },
+    /// Server → client: reply to [`Frame::Ping`].
+    Pong,
+}
+
+/// Typed decoding failure. Every variant is a protocol violation by the
+/// peer; none of them panics the decoder.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// The length prefix announces a body larger than the cap.
+    Oversized {
+        /// Announced body length.
+        len: usize,
+        /// Configured maximum.
+        max: usize,
+    },
+    /// Zero-length body (every frame needs at least a type tag).
+    EmptyFrame,
+    /// Unknown frame type tag.
+    BadTag(u8),
+    /// Unknown status code in a `Status` frame.
+    BadStatus(u8),
+    /// Unknown op tag inside a `Submit` body.
+    BadOpTag(u8),
+    /// A boolean field held something other than 0 or 1.
+    BadBool(u8),
+    /// A complete body ended mid-field — truncation *inside* the
+    /// length-delimited frame, i.e. corruption (a partial read is
+    /// `Ok(None)`, not this).
+    Corrupt {
+        /// Bytes the next field needed.
+        need: usize,
+        /// Bytes that were left.
+        have: usize,
+    },
+    /// The body declared more ops than it can possibly hold (or more
+    /// than the configured cap) — rejected before sizing any buffer.
+    TooManyOps {
+        /// Declared op count.
+        ops: usize,
+        /// Maximum admissible here.
+        max: usize,
+    },
+    /// Decoding finished with unconsumed bytes inside the body.
+    TrailingBytes {
+        /// Leftover byte count.
+        extra: usize,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Oversized { len, max } => {
+                write!(f, "frame body of {len} bytes exceeds cap of {max}")
+            }
+            FrameError::EmptyFrame => write!(f, "zero-length frame body"),
+            FrameError::BadTag(t) => write!(f, "unknown frame tag {t:#04x}"),
+            FrameError::BadStatus(s) => write!(f, "unknown status code {s}"),
+            FrameError::BadOpTag(t) => write!(f, "unknown op tag {t}"),
+            FrameError::BadBool(b) => write!(f, "boolean field holds {b}"),
+            FrameError::Corrupt { need, have } => {
+                write!(f, "corrupt frame: field needs {need} bytes, {have} left")
+            }
+            FrameError::TooManyOps { ops, max } => {
+                write!(f, "frame declares {ops} ops, at most {max} admissible")
+            }
+            FrameError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after frame body")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Appends `frame`'s wire encoding (length prefix plus body) to `out`.
+pub fn encode(frame: &Frame, out: &mut Vec<u8>) {
+    let at = out.len();
+    out.extend_from_slice(&[0u8; HEADER_LEN]); // length backpatched below
+    match frame {
+        Frame::Submit {
+            request_id,
+            affinity,
+            body,
+        } => {
+            out.push(TAG_SUBMIT);
+            out.extend_from_slice(&request_id.to_le_bytes());
+            match affinity {
+                Some(key) => {
+                    out.push(1);
+                    out.extend_from_slice(&key.to_le_bytes());
+                }
+                None => out.push(0),
+            }
+            match body {
+                TxBody::Count { ops, size } => {
+                    out.push(0);
+                    out.extend_from_slice(&ops.to_le_bytes());
+                    out.extend_from_slice(&size.to_le_bytes());
+                }
+                TxBody::Ops(ops) => {
+                    out.push(1);
+                    out.extend_from_slice(&(ops.len() as u32).to_le_bytes());
+                    for op in ops {
+                        encode_op(*op, out);
+                    }
+                }
+            }
+        }
+        Frame::Ping => out.push(TAG_PING),
+        Frame::Goodbye => out.push(TAG_GOODBYE),
+        Frame::Status { request_id, status } => {
+            out.push(TAG_STATUS);
+            out.extend_from_slice(&request_id.to_le_bytes());
+            out.push(status.code());
+        }
+        Frame::Pong => out.push(TAG_PONG),
+    }
+    let body_len = (out.len() - at - HEADER_LEN) as u32;
+    out[at..at + HEADER_LEN].copy_from_slice(&body_len.to_le_bytes());
+}
+
+fn encode_op(op: WorkOp, out: &mut Vec<u8>) {
+    match op {
+        WorkOp::Malloc { id, size } => {
+            out.push(OP_MALLOC);
+            out.extend_from_slice(&id.to_le_bytes());
+            out.extend_from_slice(&size.to_le_bytes());
+        }
+        WorkOp::Free { id } => {
+            out.push(OP_FREE);
+            out.extend_from_slice(&id.to_le_bytes());
+        }
+        WorkOp::Realloc { id, new_size } => {
+            out.push(OP_REALLOC);
+            out.extend_from_slice(&id.to_le_bytes());
+            out.extend_from_slice(&new_size.to_le_bytes());
+        }
+        WorkOp::Touch { id, write } => {
+            out.push(OP_TOUCH);
+            out.extend_from_slice(&id.to_le_bytes());
+            out.push(u8::from(write));
+        }
+        WorkOp::Compute { instr } => {
+            out.push(OP_COMPUTE);
+            out.extend_from_slice(&instr.to_le_bytes());
+        }
+        WorkOp::StaticTouch { offset, len } => {
+            out.push(OP_STATIC_TOUCH);
+            out.extend_from_slice(&offset.to_le_bytes());
+            out.extend_from_slice(&len.to_le_bytes());
+        }
+        WorkOp::EndTx => out.push(OP_END_TX),
+    }
+}
+
+/// Bounds-checked reader over one frame body.
+struct Body<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Body<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FrameError> {
+        let have = self.buf.len() - self.at;
+        if have < n {
+            return Err(FrameError::Corrupt { need: n, have });
+        }
+        let s = &self.buf[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, FrameError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, FrameError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, FrameError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn bool(&mut self) -> Result<bool, FrameError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(FrameError::BadBool(b)),
+        }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.at
+    }
+}
+
+/// Incremental frame decoder with configurable limits and an optional
+/// buffer pool for decoded op vectors.
+#[derive(Clone, Default)]
+pub struct Decoder {
+    max_frame: Option<usize>,
+    max_ops: Option<usize>,
+    pool: Option<Arc<TxBufferPool>>,
+}
+
+impl Decoder {
+    /// A decoder with the default limits ([`DEFAULT_MAX_FRAME`],
+    /// [`DEFAULT_MAX_OPS`]) and no pool.
+    #[must_use]
+    pub fn new() -> Self {
+        Decoder::default()
+    }
+
+    /// Caps the admissible body length.
+    #[must_use]
+    pub fn with_max_frame(mut self, max: usize) -> Self {
+        self.max_frame = Some(max);
+        self
+    }
+
+    /// Caps the ops one `Submit` may carry.
+    #[must_use]
+    pub fn with_max_ops(mut self, max: usize) -> Self {
+        self.max_ops = Some(max);
+        self
+    }
+
+    /// Draws decoded op vectors from `pool` instead of allocating.
+    #[must_use]
+    pub fn with_pool(mut self, pool: Arc<TxBufferPool>) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    fn max_frame(&self) -> usize {
+        self.max_frame.unwrap_or(DEFAULT_MAX_FRAME)
+    }
+
+    /// Tries to decode one frame from the front of `buf`.
+    ///
+    /// Returns `Ok(None)` when `buf` holds only part of a frame (read
+    /// more and retry), `Ok(Some((frame, consumed)))` on success — the
+    /// caller drains `consumed` bytes — and a [`FrameError`] when the
+    /// peer violated the protocol (the connection should be dropped;
+    /// resynchronization is not attempted).
+    ///
+    /// # Errors
+    ///
+    /// Every [`FrameError`] variant; never panics, for any input.
+    pub fn decode(&self, buf: &[u8]) -> Result<Option<(Frame, usize)>, FrameError> {
+        if buf.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+        if len == 0 {
+            return Err(FrameError::EmptyFrame);
+        }
+        if len > self.max_frame() {
+            return Err(FrameError::Oversized {
+                len,
+                max: self.max_frame(),
+            });
+        }
+        if buf.len() < HEADER_LEN + len {
+            return Ok(None);
+        }
+        let mut body = Body {
+            buf: &buf[HEADER_LEN..HEADER_LEN + len],
+            at: 0,
+        };
+        let frame = self.decode_body(&mut body)?;
+        if body.remaining() > 0 {
+            return Err(FrameError::TrailingBytes {
+                extra: body.remaining(),
+            });
+        }
+        Ok(Some((frame, HEADER_LEN + len)))
+    }
+
+    fn decode_body(&self, body: &mut Body<'_>) -> Result<Frame, FrameError> {
+        match body.u8()? {
+            TAG_SUBMIT => {
+                let request_id = body.u64()?;
+                let affinity = if body.bool()? {
+                    Some(body.u64()?)
+                } else {
+                    None
+                };
+                let tx_body = match body.u8()? {
+                    0 => TxBody::Count {
+                        ops: body.u32()?,
+                        size: body.u32()?,
+                    },
+                    1 => {
+                        let count = body.u32()? as usize;
+                        // Every op costs at least one tag byte, so a count
+                        // beyond the remaining body is a lie — reject it
+                        // before sizing any buffer from it.
+                        let max = self.max_ops.unwrap_or(DEFAULT_MAX_OPS);
+                        if count > body.remaining() || count > max {
+                            return Err(FrameError::TooManyOps {
+                                ops: count,
+                                max: max.min(body.remaining()),
+                            });
+                        }
+                        let mut ops = match &self.pool {
+                            Some(pool) => pool.get(),
+                            None => Vec::new(),
+                        };
+                        ops.reserve(count);
+                        for _ in 0..count {
+                            ops.push(decode_op(body)?);
+                        }
+                        TxBody::Ops(ops)
+                    }
+                    t => return Err(FrameError::BadTag(t)),
+                };
+                Ok(Frame::Submit {
+                    request_id,
+                    affinity,
+                    body: tx_body,
+                })
+            }
+            TAG_PING => Ok(Frame::Ping),
+            TAG_GOODBYE => Ok(Frame::Goodbye),
+            TAG_STATUS => {
+                let request_id = body.u64()?;
+                let code = body.u8()?;
+                let status = Status::from_code(code).ok_or(FrameError::BadStatus(code))?;
+                Ok(Frame::Status { request_id, status })
+            }
+            TAG_PONG => Ok(Frame::Pong),
+            t => Err(FrameError::BadTag(t)),
+        }
+    }
+}
+
+fn decode_op(body: &mut Body<'_>) -> Result<WorkOp, FrameError> {
+    match body.u8()? {
+        OP_MALLOC => Ok(WorkOp::Malloc {
+            id: body.u64()?,
+            size: body.u64()?,
+        }),
+        OP_FREE => Ok(WorkOp::Free { id: body.u64()? }),
+        OP_REALLOC => Ok(WorkOp::Realloc {
+            id: body.u64()?,
+            new_size: body.u64()?,
+        }),
+        OP_TOUCH => Ok(WorkOp::Touch {
+            id: body.u64()?,
+            write: body.bool()?,
+        }),
+        OP_COMPUTE => Ok(WorkOp::Compute { instr: body.u64()? }),
+        OP_STATIC_TOUCH => Ok(WorkOp::StaticTouch {
+            offset: body.u64()?,
+            len: body.u64()?,
+        }),
+        OP_END_TX => Ok(WorkOp::EndTx),
+        t => Err(FrameError::BadOpTag(t)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(frame: &Frame) {
+        let mut buf = Vec::new();
+        encode(frame, &mut buf);
+        let (back, used) = Decoder::new().decode(&buf).unwrap().unwrap();
+        assert_eq!(back, *frame);
+        assert_eq!(used, buf.len());
+    }
+
+    #[test]
+    fn all_frame_shapes_round_trip() {
+        round_trip(&Frame::Ping);
+        round_trip(&Frame::Pong);
+        round_trip(&Frame::Goodbye);
+        round_trip(&Frame::Status {
+            request_id: u64::MAX,
+            status: Status::Draining,
+        });
+        round_trip(&Frame::Submit {
+            request_id: 7,
+            affinity: None,
+            body: TxBody::Count { ops: 12, size: 64 },
+        });
+        round_trip(&Frame::Submit {
+            request_id: 8,
+            affinity: Some(0xDEAD),
+            body: TxBody::Ops(vec![
+                WorkOp::Malloc { id: 1, size: 64 },
+                WorkOp::Touch { id: 1, write: true },
+                WorkOp::Realloc {
+                    id: 1,
+                    new_size: 128,
+                },
+                WorkOp::Free { id: 1 },
+                WorkOp::Compute { instr: 900 },
+                WorkOp::StaticTouch {
+                    offset: 16,
+                    len: 32,
+                },
+                WorkOp::EndTx,
+            ]),
+        });
+    }
+
+    #[test]
+    fn partial_reads_ask_for_more() {
+        let mut buf = Vec::new();
+        encode(
+            &Frame::Status {
+                request_id: 3,
+                status: Status::Accepted,
+            },
+            &mut buf,
+        );
+        for cut in 0..buf.len() {
+            assert_eq!(Decoder::new().decode(&buf[..cut]).unwrap(), None, "{cut}");
+        }
+    }
+
+    #[test]
+    fn two_frames_back_to_back_decode_in_order() {
+        let mut buf = Vec::new();
+        encode(&Frame::Ping, &mut buf);
+        encode(&Frame::Goodbye, &mut buf);
+        let d = Decoder::new();
+        let (f1, used) = d.decode(&buf).unwrap().unwrap();
+        assert_eq!(f1, Frame::Ping);
+        let (f2, used2) = d.decode(&buf[used..]).unwrap().unwrap();
+        assert_eq!(f2, Frame::Goodbye);
+        assert_eq!(used + used2, buf.len());
+    }
+
+    #[test]
+    fn oversized_announcement_is_rejected_before_buffering() {
+        let mut buf = (8u32 << 20).to_le_bytes().to_vec();
+        buf.push(TAG_PING);
+        assert!(matches!(
+            Decoder::new().decode(&buf),
+            Err(FrameError::Oversized { .. })
+        ));
+    }
+
+    #[test]
+    fn lying_op_count_is_rejected_before_allocation() {
+        // Announce u32::MAX ops with a near-empty body.
+        let mut body = vec![TAG_SUBMIT];
+        body.extend_from_slice(&1u64.to_le_bytes());
+        body.push(0); // no affinity
+        body.push(1); // inline ops
+        body.extend_from_slice(&u32::MAX.to_le_bytes());
+        let mut buf = (body.len() as u32).to_le_bytes().to_vec();
+        buf.extend_from_slice(&body);
+        assert!(matches!(
+            Decoder::new().decode(&buf),
+            Err(FrameError::TooManyOps { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_length_and_bad_tags_are_typed_errors() {
+        let buf = 0u32.to_le_bytes().to_vec();
+        assert_eq!(Decoder::new().decode(&buf), Err(FrameError::EmptyFrame));
+        let mut buf = 1u32.to_le_bytes().to_vec();
+        buf.push(0x77);
+        assert_eq!(Decoder::new().decode(&buf), Err(FrameError::BadTag(0x77)));
+    }
+
+    #[test]
+    fn trailing_bytes_inside_a_frame_are_rejected() {
+        let mut body = vec![TAG_PING, 0xAB];
+        let mut buf = (body.len() as u32).to_le_bytes().to_vec();
+        buf.append(&mut body);
+        assert_eq!(
+            Decoder::new().decode(&buf),
+            Err(FrameError::TrailingBytes { extra: 1 })
+        );
+    }
+
+    #[test]
+    fn requested_bytes_sums_malloc_and_realloc() {
+        let body = TxBody::Ops(vec![
+            WorkOp::Malloc { id: 1, size: 100 },
+            WorkOp::Realloc {
+                id: 1,
+                new_size: 50,
+            },
+            WorkOp::Free { id: 1 },
+            WorkOp::EndTx,
+        ]);
+        assert_eq!(body.requested_bytes(), 150);
+        assert_eq!(TxBody::Count { ops: 4, size: 32 }.requested_bytes(), 128);
+    }
+}

@@ -1,0 +1,176 @@
+//! Property tests for the wire protocol.
+//!
+//! The decoder sits on the trust boundary: everything on the other side
+//! of the socket is adversarial. These properties pin down its contract
+//! from both sides —
+//!
+//! * **total on valid input**: any encodable frame round-trips exactly,
+//!   whole streams of frames survive arbitrary re-chunking, and a
+//!   1-byte-at-a-time split-read torture yields `Ok(None)` at every
+//!   prefix and the frame at the end;
+//! * **total on hostile input**: arbitrary bytes, truncated bodies with
+//!   lying length prefixes, and oversized announcements all come back as
+//!   typed [`FrameError`]s — the decoder never panics and never
+//!   allocates proportionally to an unvalidated length field.
+
+use proptest::prelude::*;
+use webmm_net::frame::HEADER_LEN;
+use webmm_net::{encode, Decoder, Frame, FrameError, Status, TxBody};
+use webmm_workload::WorkOp;
+
+fn work_op() -> impl Strategy<Value = WorkOp> {
+    prop_oneof![
+        (any::<u64>(), 0u64..(1 << 32)).prop_map(|(id, size)| WorkOp::Malloc { id, size }),
+        any::<u64>().prop_map(|id| WorkOp::Free { id }),
+        (any::<u64>(), 0u64..(1 << 32)).prop_map(|(id, new_size)| WorkOp::Realloc { id, new_size }),
+        (any::<u64>(), any::<bool>()).prop_map(|(id, write)| WorkOp::Touch { id, write }),
+        any::<u64>().prop_map(|instr| WorkOp::Compute { instr }),
+        (any::<u64>(), any::<u64>()).prop_map(|(offset, len)| WorkOp::StaticTouch { offset, len }),
+        Just(WorkOp::EndTx),
+    ]
+}
+
+fn tx_body() -> impl Strategy<Value = TxBody> {
+    prop_oneof![
+        (any::<u32>(), any::<u32>()).prop_map(|(ops, size)| TxBody::Count { ops, size }),
+        collection::vec(work_op(), 0..40).prop_map(TxBody::Ops),
+    ]
+}
+
+fn submit() -> impl Strategy<Value = Frame> {
+    (any::<u64>(), any::<bool>(), any::<u64>(), tx_body()).prop_map(
+        |(request_id, has_affinity, key, body)| Frame::Submit {
+            request_id,
+            affinity: has_affinity.then_some(key),
+            body,
+        },
+    )
+}
+
+fn frame() -> impl Strategy<Value = Frame> {
+    prop_oneof![
+        4 => submit(),
+        1 => Just(Frame::Ping),
+        1 => Just(Frame::Goodbye),
+        2 => (any::<u64>(), 0u8..5u8).prop_map(|(request_id, code)| Frame::Status {
+            request_id,
+            status: Status::from_code(code).expect("codes 0..5 are valid"),
+        }),
+        1 => Just(Frame::Pong),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// encode → decode is the identity, and decode consumes exactly the
+    /// encoded bytes.
+    #[test]
+    fn any_frame_round_trips(f in frame()) {
+        let mut buf = Vec::new();
+        encode(&f, &mut buf);
+        let (back, used) = Decoder::new()
+            .decode(&buf)
+            .expect("valid encoding decodes")
+            .expect("complete frame decodes");
+        prop_assert_eq!(back, f);
+        prop_assert_eq!(used, buf.len());
+    }
+
+    /// Split-read torture: arriving one byte at a time, every proper
+    /// prefix is `Ok(None)` ("need more") and the full buffer yields the
+    /// frame — no prefix is ever an error, because a partial read is not
+    /// a protocol violation.
+    #[test]
+    fn one_byte_at_a_time_is_need_more_until_complete(f in frame()) {
+        let mut wire = Vec::new();
+        encode(&f, &mut wire);
+        let d = Decoder::new();
+        let mut rbuf = Vec::new();
+        for (i, b) in wire.iter().enumerate() {
+            rbuf.push(*b);
+            let step = d.decode(&rbuf).expect("prefixes of valid frames never error");
+            if i + 1 < wire.len() {
+                prop_assert_eq!(step, None, "premature decode at byte {}", i);
+            } else {
+                let (back, used) = step.expect("complete at the last byte");
+                prop_assert_eq!(back, f);
+                prop_assert_eq!(used, wire.len());
+            }
+        }
+    }
+
+    /// A whole stream of frames survives arbitrary re-chunking: however
+    /// the bytes are sliced, the reassembly loop recovers exactly the
+    /// original frame sequence.
+    #[test]
+    fn frame_streams_survive_rechunking(
+        frames in collection::vec(frame(), 1..8),
+        chunks in collection::vec(1usize..9, 1..64),
+    ) {
+        let mut wire = Vec::new();
+        for f in &frames {
+            encode(f, &mut wire);
+        }
+        let d = Decoder::new();
+        let mut rbuf: Vec<u8> = Vec::new();
+        let mut out = Vec::new();
+        let mut fed = 0;
+        let mut chunk_iter = chunks.iter().cycle();
+        while fed < wire.len() {
+            let n = (*chunk_iter.next().expect("cycle")).min(wire.len() - fed);
+            rbuf.extend_from_slice(&wire[fed..fed + n]);
+            fed += n;
+            while let Some((f, used)) = d.decode(&rbuf).expect("valid stream") {
+                out.push(f);
+                rbuf.drain(..used);
+            }
+        }
+        prop_assert!(rbuf.is_empty(), "no bytes may be left over");
+        prop_assert_eq!(out, frames);
+    }
+
+    /// Truncation *inside* the length-delimited body — a lying length
+    /// prefix claiming a shorter body over real frame bytes — is a typed
+    /// error, never a success and never a panic.
+    #[test]
+    fn truncated_bodies_are_typed_errors(f in submit(), cut_seed in any::<u64>()) {
+        let mut wire = Vec::new();
+        encode(&f, &mut wire);
+        let body_len = wire.len() - HEADER_LEN;
+        // Submit bodies are always at least 2 bytes (tag + fields).
+        prop_assert!(body_len >= 2);
+        let cut = 1 + (cut_seed as usize) % (body_len - 1); // 1..body_len
+        wire[..HEADER_LEN].copy_from_slice(&(cut as u32).to_le_bytes());
+        let got = Decoder::new().decode(&wire[..HEADER_LEN + cut]);
+        prop_assert!(got.is_err(), "cut at {} of {} must not decode: {:?}", cut, body_len, got);
+    }
+
+    /// Arbitrary bytes never panic the decoder, and whatever it claims
+    /// to consume actually exists in the buffer.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in collection::vec(any::<u8>(), 0..512)) {
+        if let Ok(Some((_, used))) = Decoder::new().decode(&bytes) {
+            prop_assert!(used <= bytes.len());
+            prop_assert!(used >= HEADER_LEN);
+        }
+    }
+
+    /// A length prefix above the configured cap is refused as
+    /// `Oversized` before any body byte is examined or buffered,
+    /// whatever follows it.
+    #[test]
+    fn oversized_announcements_are_refused_up_front(
+        extra in 1u32..1000,
+        junk in collection::vec(any::<u8>(), 0..32),
+    ) {
+        let max = 1024usize;
+        let mut wire = (max as u32 + extra).to_le_bytes().to_vec();
+        wire.extend_from_slice(&junk);
+        let got = Decoder::new().with_max_frame(max).decode(&wire);
+        prop_assert_eq!(
+            got,
+            Err(FrameError::Oversized { len: max + extra as usize, max })
+        );
+    }
+}

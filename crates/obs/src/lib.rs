@@ -36,6 +36,7 @@
 
 mod heap;
 mod histogram;
+mod net;
 mod registry;
 mod shard;
 mod trace;
@@ -43,6 +44,7 @@ mod window;
 
 pub use heap::{ClassOccupancy, HeapSnapshot, HeapTelemetry};
 pub use histogram::{LatencyHistogram, LatencySummary};
+pub use net::{net_metric, NetCounters};
 pub use registry::{MetricHandle, MetricKind, MetricSample, MetricsRegistry, MetricsSnapshot};
 pub use shard::ShardSample;
 pub use trace::{SpanRing, TxSpan, TxTracer};

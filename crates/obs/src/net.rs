@@ -1,0 +1,110 @@
+//! Network-tier observation: the shared counter block and metric names.
+//!
+//! `webmm-net` puts a real TCP tier in front of the serving harness;
+//! both of its halves — the connection front-end and the load-generator
+//! client — describe their traffic with the same [`NetCounters`] block,
+//! so server-side and client-side JSON reports stay field-compatible
+//! and reconciliation tests can diff them directly.
+//!
+//! The front-end additionally mirrors these counters into the
+//! [`MetricsRegistry`](crate::MetricsRegistry) under the names in
+//! [`net_metric`], which is how connection churn, byte traffic, and
+//! protocol errors flow into every live `ObsSample` alongside queue
+//! depth and heap occupancy — no new sampler machinery, just more
+//! registered metrics.
+
+/// One side's view of network traffic. For the server front-end,
+/// `conns_accepted` counts accepted sockets; for the client, established
+/// connections (reconnects included).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct NetCounters {
+    /// Connections brought up.
+    pub conns_accepted: u64,
+    /// Connections wound down in an orderly way (goodbye, EOF, idle
+    /// timeout, drain).
+    pub conns_closed: u64,
+    /// Connections discarded abnormally: refused at the backlog cap,
+    /// killed by an I/O error, or thrown away mid-drain.
+    pub conns_dropped: u64,
+    /// Payload bytes read off sockets.
+    pub bytes_in: u64,
+    /// Payload bytes written to sockets.
+    pub bytes_out: u64,
+    /// Whole frames decoded.
+    pub frames_in: u64,
+    /// Whole frames encoded and sent.
+    pub frames_out: u64,
+    /// Protocol violations observed (malformed frames, unexpected frame
+    /// kinds, response/request id mismatches).
+    pub protocol_errors: u64,
+}
+
+impl NetCounters {
+    /// Folds `other` into `self` (summing every field) — how per-handler
+    /// tallies merge into one report.
+    pub fn merge(&mut self, other: &NetCounters) {
+        self.conns_accepted += other.conns_accepted;
+        self.conns_closed += other.conns_closed;
+        self.conns_dropped += other.conns_dropped;
+        self.bytes_in += other.bytes_in;
+        self.bytes_out += other.bytes_out;
+        self.frames_in += other.frames_in;
+        self.frames_out += other.frames_out;
+        self.protocol_errors += other.protocol_errors;
+    }
+}
+
+/// Registry metric names published by the network front-end. Centralized
+/// here (like the server's worker metrics) so the front-end, dashboards,
+/// and tests agree on spelling.
+pub mod net_metric {
+    /// Connections currently being served (gauge: each handler sets its
+    /// shard to the connections it holds; shards sum on read).
+    pub const CONNS_OPEN: &str = "net_conns_open";
+    /// Connections accepted since startup (counter).
+    pub const CONNS_ACCEPTED: &str = "net_conns_accepted";
+    /// Connections dropped abnormally (counter).
+    pub const CONNS_DROPPED: &str = "net_conns_dropped";
+    /// Bytes read off sockets (counter).
+    pub const BYTES_IN: &str = "net_bytes_in";
+    /// Bytes written to sockets (counter).
+    pub const BYTES_OUT: &str = "net_bytes_out";
+    /// Submit requests handled (counter).
+    pub const REQUESTS: &str = "net_requests";
+    /// Protocol violations (counter).
+    pub const PROTOCOL_ERRORS: &str = "net_protocol_errors";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_every_field() {
+        let mut a = NetCounters {
+            conns_accepted: 1,
+            conns_closed: 2,
+            conns_dropped: 3,
+            bytes_in: 4,
+            bytes_out: 5,
+            frames_in: 6,
+            frames_out: 7,
+            protocol_errors: 8,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(
+            a,
+            NetCounters {
+                conns_accepted: 2,
+                conns_closed: 4,
+                conns_dropped: 6,
+                bytes_in: 8,
+                bytes_out: 10,
+                frames_in: 12,
+                frames_out: 14,
+                protocol_errors: 16,
+            }
+        );
+    }
+}

@@ -112,6 +112,14 @@ impl IngressQueue {
         }
     }
 
+    /// Whether the queue has been closed for draining.
+    pub(crate) fn is_closed(&self) -> bool {
+        match self {
+            IngressQueue::Global(q) => q.is_closed(),
+            IngressQueue::Sharded(q) => q.is_closed(),
+        }
+    }
+
     pub(crate) fn capacity(&self) -> usize {
         match self {
             IngressQueue::Global(q) => q.capacity(),

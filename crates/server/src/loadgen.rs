@@ -19,11 +19,33 @@ use crate::Transaction;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+use webmm_workload::trace::TraceReplay;
 use webmm_workload::{TxStream, WorkOp, WorkloadSpec};
 
-/// Produces self-contained transactions from a workload stream.
+/// Where a [`TxFactory`] draws its operations from.
+enum OpSource {
+    /// A live deterministic generator (boxed: a `TxStream` carries its
+    /// size-class tables inline and dwarfs the trace-replay variant).
+    Stream(Box<TxStream>),
+    /// A recorded trace (JSONL, see `webmm_workload::trace`) replayed
+    /// verbatim — how a network run's op stream is re-driven through the
+    /// in-process harness for apples-to-apples comparison.
+    Trace(TraceReplay),
+}
+
+impl OpSource {
+    fn next_op(&mut self) -> WorkOp {
+        match self {
+            OpSource::Stream(s) => s.next_op(),
+            OpSource::Trace(t) => t.next_op(),
+        }
+    }
+}
+
+/// Produces self-contained transactions from a workload stream or a
+/// recorded trace.
 pub struct TxFactory {
-    stream: TxStream,
+    source: OpSource,
     next_id: u64,
     /// When attached, op buffers are drawn from the server's recycling
     /// pool instead of freshly allocated — completed transactions feed
@@ -41,7 +63,20 @@ impl TxFactory {
     /// transaction.
     pub fn new(spec: WorkloadSpec, scale: u32, seed: u64) -> Self {
         TxFactory {
-            stream: TxStream::new(spec, scale, seed),
+            source: OpSource::Stream(Box::new(TxStream::new(spec, scale, seed))),
+            next_id: 0,
+            pool: None,
+        }
+    }
+
+    /// Replays a recorded op sequence (e.g. one read back with
+    /// `webmm_workload::trace::read_trace`) instead of generating ops.
+    /// Once the recorded ops are exhausted, every further transaction is
+    /// a bare `EndTx` — drive exactly as many transactions as the trace
+    /// holds ([`webmm_workload::trace::count_transactions`]).
+    pub fn from_trace(ops: Vec<WorkOp>) -> Self {
+        TxFactory {
+            source: OpSource::Trace(TraceReplay::new(ops)),
             next_id: 0,
             pool: None,
         }
@@ -62,7 +97,7 @@ impl TxFactory {
             None => Vec::new(),
         };
         loop {
-            let op = self.stream.next_op();
+            let op = self.source.next_op();
             ops.push(op);
             if op == WorkOp::EndTx {
                 break;

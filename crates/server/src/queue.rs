@@ -329,6 +329,13 @@ impl TxQueue {
         self.not_full.notify_all();
     }
 
+    /// Whether [`TxQueue::close`] has been called — submissions are
+    /// being rejected and the queue is draining. Network front-ends use
+    /// this to answer `Draining` instead of offering doomed work.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().expect("queue lock").closed
+    }
+
     /// Transactions currently queued (a gauge; racy by nature).
     pub fn depth(&self) -> usize {
         self.state.lock().expect("queue lock").buf.len()

@@ -166,6 +166,14 @@ impl Server {
         self.queue.depth()
     }
 
+    /// Whether the ingress queue has been closed for draining. Front-end
+    /// tiers (e.g. `webmm-net`) check this to refuse new work with a
+    /// drain status instead of submitting transactions that would only
+    /// be counted as shed.
+    pub fn is_closed(&self) -> bool {
+        self.queue.is_closed()
+    }
+
     /// The live telemetry plane, when the config asked for one.
     pub fn telemetry(&self) -> Option<&Arc<ServerTelemetry>> {
         self.telemetry.as_ref()
@@ -271,6 +279,12 @@ impl Ingress {
     /// The server's transaction-buffer pool (see [`Server::buffer_pool`]).
     pub fn pool(&self) -> Arc<TxBufferPool> {
         Arc::clone(&self.pool)
+    }
+
+    /// Whether the ingress queue has been closed for draining (see
+    /// [`Server::is_closed`]).
+    pub fn is_closed(&self) -> bool {
+        self.queue.is_closed()
     }
 }
 

@@ -336,6 +336,14 @@ impl ShardedTxQueue {
         }
     }
 
+    /// Whether [`ShardedTxQueue::close`] has been called — submissions
+    /// are being rejected and the shards are draining. Network
+    /// front-ends use this to answer `Draining` instead of offering
+    /// doomed work.
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Acquire)
+    }
+
     /// Transactions currently queued across all shards (a gauge; racy by
     /// nature).
     pub fn depth(&self) -> usize {

@@ -63,6 +63,12 @@ pub fn read_trace<R: io::Read>(input: R) -> io::Result<Vec<WorkOp>> {
     Ok(ops)
 }
 
+/// Whole transactions in a recorded op sequence (its `EndTx` count) —
+/// what a replay driver should pass as its transaction total.
+pub fn count_transactions(ops: &[WorkOp]) -> u64 {
+    ops.iter().filter(|op| **op == WorkOp::EndTx).count() as u64
+}
+
 /// An iterator adapter replaying a recorded trace as an op source.
 ///
 /// After the recorded ops are exhausted it yields `EndTx` forever, so a
@@ -119,6 +125,16 @@ mod tests {
         assert_eq!(r.next_op(), WorkOp::EndTx);
         assert_eq!(r.next_op(), WorkOp::EndTx);
         assert!(r.exhausted());
+    }
+
+    #[test]
+    fn count_transactions_counts_end_tx() {
+        let mut stream = TxStream::new(phpbb(), 64, 9);
+        let mut buf = Vec::new();
+        write_trace(&mut stream, 3, &mut buf).unwrap();
+        let ops = read_trace(&buf[..]).unwrap();
+        assert_eq!(count_transactions(&ops), 3);
+        assert_eq!(count_transactions(&[]), 0);
     }
 
     #[test]

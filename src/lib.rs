@@ -27,7 +27,11 @@
 //! * [`server`] — the native serving harness: the same allocators on real
 //!   OS worker threads (one heap each) behind a bounded ingress queue
 //!   with block/reject/shed-oldest admission control and log2 latency
-//!   histograms.
+//!   histograms;
+//! * [`net`] — the TCP serving tier in front of that harness: a compact
+//!   length-prefixed wire protocol carrying transactions and admission
+//!   statuses, a keep-alive connection front-end with graceful drain,
+//!   and a network load generator with closed- and open-loop schedules.
 //!
 //! ## Quickstart
 //!
@@ -51,6 +55,7 @@
 #![warn(missing_docs)]
 
 pub use webmm_alloc as alloc;
+pub use webmm_net as net;
 pub use webmm_obs as obs;
 pub use webmm_profiler as profiler;
 pub use webmm_runtime as runtime;
